@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation and prints the same rows/series the paper reports, with the
+paper's numbers alongside for comparison. Absolute values come from the
+simulation model; the *shape* (who wins, by what factor, where the knees
+fall) is the reproduction target (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+
+def emit(text: str) -> None:
+    """Print benchmark output so it survives pytest capture settings."""
+    sys.stdout.write("\n" + text + "\n")
+    sys.stdout.flush()
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic simulations; repeating rounds only
+    re-measures wall-clock, so one round suffices.
+    """
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,68 @@
+"""Ablation sweeps for sizing decisions the paper fixes without a figure.
+
+DESIGN.md calls these out: descriptor-ring depth, per-side recycling
+stack depth, and the joint TX x RX batching grid (Fig 16 explores only
+the axes). Run on ICX with 64B packets.
+"""
+
+from conftest import emit
+
+from repro.analysis import InterfaceKind, format_table
+from repro.analysis.sweeps import (
+    batching_matrix,
+    recycle_stack_sweep,
+    ring_size_sweep,
+)
+from repro.platform import icx
+
+
+def run_sweeps():
+    spec = icx()
+    return {
+        "ring": ring_size_sweep(spec, [64, 256, 1024, 4096], n_packets=6000),
+        "stack": recycle_stack_sweep(spec, [16, 64, 256, 1024], n_packets=6000),
+        "grid": batching_matrix(spec, InterfaceKind.CCNIC, [1, 8, 32],
+                                n_packets=4000),
+    }
+
+
+def test_ablation_sweeps(run_once):
+    results = run_once(run_sweeps)
+    emit(
+        format_table(
+            ["Ring slots", "Mpps", "Median lat [ns]"],
+            results["ring"],
+            title="Ablation: descriptor-ring depth (CC-NIC, ICX, 64B)",
+        )
+    )
+    emit(
+        format_table(
+            ["Stack depth", "Mpps", "Stack-hit fraction"],
+            results["stack"],
+            title="Ablation: recycling-stack depth (inflight window = 256)",
+        )
+    )
+    emit(
+        format_table(
+            ["TX batch", "RX batch", "Mpps"],
+            [(tx, rx, v) for (tx, rx), v in sorted(results["grid"].items())],
+            title="Ablation: joint TX x RX batching grid",
+        )
+    )
+    ring = {slots: (mpps, lat) for slots, mpps, lat in results["ring"]}
+    # Tiny rings cost throughput.
+    assert ring[64][0] < ring[1024][0]
+    # Beyond the knee, depth buys little throughput.
+    assert ring[4096][0] < 1.2 * ring[1024][0]
+    stack = {d: (mpps, frac) for d, mpps, frac in results["stack"]}
+    # Stacks shallower than the in-flight window spill to the shared pool.
+    assert stack[16][1] < stack[1024][1]
+    # Deep-enough stacks recycle essentially everything.
+    assert stack[1024][1] > 0.95
+    # Shallow stacks cost throughput (contended shared-pool lines).
+    assert stack[1024][0] >= stack[16][0]
+    # The batching grid peaks at (or near) the largest batches and its
+    # worst corner is the fully unbatched one.
+    grid = results["grid"]
+    assert grid[(32, 32)] >= grid[(1, 1)]
+    assert min(grid, key=grid.get) in {(1, 1), (1, 8), (8, 1)}

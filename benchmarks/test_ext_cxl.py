@@ -1,0 +1,58 @@
+"""Extension: CC-NIC projected onto a CXL-attached NIC.
+
+The paper's Fig 21a marks the CXL Consortium's expected 170-250ns
+latency range on its sensitivity axis and argues CC-NIC's design
+carries to CXL. The `cxl()` preset projects the SPR host onto a CXL 2.0
+x16 device link (1.3x device-path latency, 504 Gbps data rate); this
+benchmark compares CC-NIC and the unoptimized interface there against
+the UPI baseline.
+"""
+
+from conftest import emit
+
+from repro.analysis import InterfaceKind, format_table
+from repro.analysis.loopback import min_latency, saturation
+from repro.platform import cxl, spr
+
+
+def run_ext_cxl():
+    out = {}
+    for name, spec in (("spr-upi", spr()), ("cxl", cxl())):
+        out[name] = {
+            "ccnic_min": min_latency(spec, InterfaceKind.CCNIC, n_packets=700),
+            "unopt_min": min_latency(spec, InterfaceKind.UNOPT, n_packets=700),
+            "ccnic_per_queue": saturation(
+                spec, InterfaceKind.CCNIC, n_packets=10000
+            ).mpps,
+        }
+    return out
+
+
+def test_ext_cxl_projection(run_once):
+    results = run_once(run_ext_cxl)
+    rows = []
+    for name in ("spr-upi", "cxl"):
+        r = results[name]
+        rows.append((name, r["ccnic_min"], r["unopt_min"],
+                     r["unopt_min"] / r["ccnic_min"], r["ccnic_per_queue"]))
+    emit(
+        format_table(
+            ["Platform", "CC-NIC min [ns]", "Unopt min [ns]",
+             "Unopt/CC-NIC", "CC-NIC per-queue [Mpps]"],
+            rows,
+            title="Extension: CC-NIC projected onto CXL 2.0 x16 (paper §5.9: "
+            "benefits hold across interconnect characteristics)",
+        )
+    )
+    upi = results["spr-upi"]
+    cxl_r = results["cxl"]
+    # CXL's longer device path costs latency...
+    assert cxl_r["ccnic_min"] > upi["ccnic_min"]
+    # ...but stays in the same class (well under any PCIe NIC's ~2.1us+).
+    assert cxl_r["ccnic_min"] < 1500.0
+    # The design's relative win over the naive interface is preserved.
+    upi_ratio = upi["unopt_min"] / upi["ccnic_min"]
+    cxl_ratio = cxl_r["unopt_min"] / cxl_r["ccnic_min"]
+    assert cxl_ratio > 0.85 * upi_ratio
+    # Per-queue throughput degrades gracefully, not catastrophically.
+    assert cxl_r["ccnic_per_queue"] > 0.6 * upi["ccnic_per_queue"]

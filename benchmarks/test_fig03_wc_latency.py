@@ -1,0 +1,48 @@
+"""Fig 3: cumulative MMIO store latency versus store count.
+
+The write-combining buffer file holds ~24 buffers; scattered stores are
+cheap until the file is full, then each store stalls on an eviction
+flush (15x+ slower, growing with N).
+"""
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.analysis.microbench import wc_store_latency
+from repro.platform import icx
+
+
+def run_fig3():
+    spec = icx()
+    return {
+        "E810": dict(wc_store_latency(spec, "e810")),
+        "CX6": dict(wc_store_latency(spec, "cx6")),
+    }
+
+
+def test_fig3_wc_store_latency(run_once):
+    curves = run_once(run_fig3)
+    counts = [1, 8, 16, 24, 32, 40, 48, 56, 64]
+    rows = [
+        (n, curves["E810"][n] / 1000.0, curves["CX6"][n] / 1000.0)
+        for n in counts
+    ]
+    emit(
+        format_table(
+            ["Store Count", "E810 [us]", "CX6 [us]"],
+            rows,
+            title="Fig 3. Cumulative MMIO store latency (paper: <20ns flat "
+            "until N=24, then 15x+ per store, ~20us at N=64 for E810)",
+        )
+    )
+    e810 = curves["E810"]
+    # Uniform and low until all WC buffers are occupied.
+    assert e810[24] < 25.0
+    # At least 15x greater per-store latency beyond the cliff.
+    per_store_before = e810[24] / 24
+    per_store_after = (e810[32] - e810[24]) / 8
+    assert per_store_after > 15 * per_store_before
+    # Latency keeps increasing with N.
+    assert e810[64] > e810[48] > e810[32]
+    # E810 worst-case in the paper is ~20us at N=64.
+    assert 10_000 < e810[64] < 30_000

@@ -1,0 +1,45 @@
+"""Fig 7: local and cross-UPI access latency by cache state."""
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.analysis.microbench import access_latency_cases
+from repro.platform import icx, spr
+
+PAPER = {
+    "icx": {"L DRAM": 72, "R DRAM": 144, "L L2": 48, "R L2 (rh)": 114, "R L2 (lh)": 119},
+    "spr": {"L DRAM": 108, "R DRAM": 191, "L L2": 82, "R L2 (rh)": 171, "R L2 (lh)": 174},
+}
+
+
+def run_fig7():
+    return {"icx": access_latency_cases(icx()), "spr": access_latency_cases(spr())}
+
+
+def test_fig7_access_latency(run_once):
+    cases = run_once(run_fig7)
+    rows = []
+    for target in ("L DRAM", "R DRAM", "L L2", "R L2 (rh)", "R L2 (lh)"):
+        rows.append(
+            (
+                target,
+                cases["icx"][target],
+                PAPER["icx"][target],
+                cases["spr"][target],
+                PAPER["spr"][target],
+            )
+        )
+    emit(
+        format_table(
+            ["Access Target", "ICX [ns]", "ICX paper", "SPR [ns]", "SPR paper"],
+            rows,
+            title="Fig 7. 64B access latency by cache state and homing",
+        )
+    )
+    for platform in ("icx", "spr"):
+        for target, paper in PAPER[platform].items():
+            assert abs(cases[platform][target] - paper) / paper < 0.05
+        # Structural claims: remote cache beats remote DRAM; writer-homed
+        # beats reader-homed.
+        assert cases[platform]["R L2 (rh)"] < cases[platform]["R DRAM"]
+        assert cases[platform]["R L2 (rh)"] <= cases[platform]["R L2 (lh)"]

@@ -1,0 +1,69 @@
+"""Fig 11: throughput-latency overview — CC-NIC vs unoptimized-UPI vs
+PCIe NICs on the ICX server (64B and 1.5KB packets).
+
+Paper claims reproduced here:
+  * CC-NIC minimum latency 77% / 86% lower than CX6 / E810;
+  * CC-NIC peak 64B packet rate 1.7x (E810) and 4.3x (CX6) higher;
+  * the unoptimized UPI baseline reaches only ~21% of CC-NIC's
+    throughput at 2.1x its minimum latency despite the faster link.
+"""
+
+from conftest import emit
+
+from repro.analysis import InterfaceKind, format_table
+from repro.analysis.loopback import min_latency, saturation, wire_bytes_per_packet
+from repro.analysis.scaling import build_scaling_model
+from repro.platform import icx
+
+PAPER_MIN_NS = {"ccnic": 490, "unopt": 1030, "e810": 3809, "cx6": 2116}
+PAPER_PEAK_MPPS = {"ccnic": 330, "unopt": 69, "e810": 192, "cx6": 76}
+
+
+def run_fig11():
+    spec = icx()
+    out = {}
+    for kind in InterfaceKind:
+        model = build_scaling_model(spec, kind, 64, n_packets=15000, inflight=384)
+        out[kind.value] = {
+            "min_ns": min_latency(spec, kind, n_packets=800),
+            "peak_mpps": model.max_mpps(spec.cores_per_socket),
+            "per_queue_mpps": model.per_queue_sat_mpps,
+        }
+    return out
+
+
+def test_fig11_overview(run_once):
+    results = run_once(run_fig11)
+    rows = []
+    for kind in ("ccnic", "unopt", "e810", "cx6"):
+        r = results[kind]
+        rows.append(
+            (
+                kind,
+                r["min_ns"],
+                PAPER_MIN_NS[kind],
+                r["peak_mpps"],
+                PAPER_PEAK_MPPS[kind],
+            )
+        )
+    emit(
+        format_table(
+            ["Interface", "Min lat [ns]", "paper", "Peak 64B [Mpps]", "paper"],
+            rows,
+            title="Fig 11. ICX overview: CC-NIC vs unoptimized UPI vs PCIe",
+        )
+    )
+    r = {k: v for k, v in results.items()}
+    # Latency ordering and reduction factors.
+    assert r["ccnic"]["min_ns"] < r["unopt"]["min_ns"] < r["cx6"]["min_ns"] < r["e810"]["min_ns"]
+    cx6_cut = 1 - r["ccnic"]["min_ns"] / r["cx6"]["min_ns"]
+    e810_cut = 1 - r["ccnic"]["min_ns"] / r["e810"]["min_ns"]
+    assert cx6_cut > 0.65          # paper: 77%
+    assert e810_cut > 0.80         # paper: 86%
+    # Throughput ordering: CC-NIC > E810 > CX6 >= unopt.
+    assert r["ccnic"]["peak_mpps"] > r["e810"]["peak_mpps"] > r["cx6"]["peak_mpps"]
+    assert r["ccnic"]["peak_mpps"] > 1.4 * r["e810"]["peak_mpps"]   # paper: 1.7x
+    assert r["ccnic"]["peak_mpps"] > 3.0 * r["cx6"]["peak_mpps"]    # paper: 4.3x
+    # The unoptimized coherent interface wastes the faster link.
+    assert r["unopt"]["peak_mpps"] < 0.45 * r["ccnic"]["peak_mpps"]  # paper: 21%
+    assert r["unopt"]["min_ns"] > 1.4 * r["ccnic"]["min_ns"]         # paper: 2.1x

@@ -1,0 +1,65 @@
+"""Fig 12: ICX throughput-latency curves by core count (CC-NIC vs CX6).
+
+Reproduces the shape of the four panels: CC-NIC's curves stay flat to
+much higher rates; under load the latency gap widens (paper: 88% lower
+latency at 80% load); CX6 plateaus at its packet engine rate.
+"""
+
+from conftest import emit
+
+from repro.analysis import InterfaceKind, format_table
+from repro.analysis.scaling import build_scaling_model, throughput_latency_curve
+from repro.platform import icx
+
+CORES = [1, 4, 16]
+FRACTIONS = [0.3, 0.8, 0.97]
+
+
+def run_fig12():
+    spec = icx()
+    out = {}
+    for kind in (InterfaceKind.CCNIC, InterfaceKind.CX6):
+        model = build_scaling_model(spec, kind, 64, n_packets=12000, inflight=384)
+        curves = {}
+        for cores in CORES:
+            curves[cores] = throughput_latency_curve(
+                spec, kind, 64, cores,
+                fractions=FRACTIONS, n_packets=5000, model=model,
+            )
+        out[kind.value] = {"model": model, "curves": curves}
+    return out
+
+
+def test_fig12_core_scaling(run_once):
+    results = run_once(run_fig12)
+    rows = []
+    for kind in ("ccnic", "cx6"):
+        for cores, points in results[kind]["curves"].items():
+            for p in points:
+                rows.append(
+                    (kind, cores, p.achieved_mpps, p.median_latency_ns)
+                )
+    emit(
+        format_table(
+            ["Interface", "Cores", "64B Tput [Mpps]", "Median lat [ns]"],
+            rows,
+            title="Fig 12. ICX loopback curves (paper: CC-NIC 330Mpps max vs "
+            "CX6 76Mpps; CC-NIC ~88% lower latency at 80% load)",
+        )
+    )
+    ccnic = results["ccnic"]["curves"]
+    cx6 = results["cx6"]["curves"]
+    # Throughput grows with core count for CC-NIC.
+    assert ccnic[16][-1].achieved_mpps > 3 * ccnic[4][-1].achieved_mpps > 0
+    # CX6 is engine-capped: 16 cores do not go far beyond its rating.
+    assert cx6[16][-1].achieved_mpps < 90.0
+    # CC-NIC at 16 cores far outpaces CX6 at 16 cores.
+    assert ccnic[16][-1].achieved_mpps > 3 * cx6[16][-1].achieved_mpps
+    # Latency under ~80% load: CC-NIC is much lower (paper: 88% lower;
+    # the model preserves the ordering at a smaller factor — see
+    # EXPERIMENTS.md deviations).
+    cc_loaded = ccnic[16][1].median_latency_ns
+    cx_loaded = cx6[16][1].median_latency_ns
+    assert cc_loaded < 0.6 * cx_loaded
+    # Latency rises monotonically-ish with load for both.
+    assert ccnic[16][-1].median_latency_ns >= ccnic[16][0].median_latency_ns

@@ -1,0 +1,79 @@
+"""Fig 17: NIC remote accesses (READ / RFO) per TX-RX loopback.
+
+The paper measures offcore-response PMU counters on the NIC CPU:
+
+                  READ   RFO     (per 64B TX-RX loopback)
+  CC-NIC batch    1.3    0.3
+  Unopt batch     1.5    0.8
+  CC-NIC single   2.9    2.8
+  Unopt single    5.4    4.9
+
+The simulator's coherence fabric counts exactly these transaction
+classes.
+"""
+
+from conftest import emit
+
+from repro.analysis import InterfaceKind, format_table
+from repro.analysis.loopback import build_interface, run_point
+from repro.platform import icx
+
+PAPER = {
+    ("ccnic", "batch"): (1.3, 0.3),
+    ("unopt", "batch"): (1.5, 0.8),
+    ("ccnic", "single"): (2.9, 2.8),
+    ("unopt", "single"): (5.4, 4.9),
+}
+
+
+def measure(kind, batched):
+    setup = build_interface(icx(), kind)
+    nic_socket = setup.system.nic_socket
+    before = setup.system.fabric.snapshot_counters()
+    if batched:
+        result = run_point(setup, 64, 6000, inflight=128, tx_batch=32, rx_batch=32)
+    else:
+        result = run_point(setup, 64, 1500, inflight=1, tx_batch=1, rx_batch=1)
+    diff = setup.system.fabric.counters.diff(before)
+    reads = diff.get(f"s{nic_socket}.read", 0) / result.received
+    rfos = diff.get(f"s{nic_socket}.rfo", 0) / result.received
+    return reads, rfos
+
+
+def run_fig17():
+    out = {}
+    for kind in (InterfaceKind.CCNIC, InterfaceKind.UNOPT):
+        for mode, batched in (("batch", True), ("single", False)):
+            out[(kind.value, mode)] = measure(kind, batched)
+    return out
+
+
+def test_fig17_remote_access_counters(run_once):
+    results = run_once(run_fig17)
+    rows = []
+    for key in (("ccnic", "batch"), ("unopt", "batch"), ("ccnic", "single"), ("unopt", "single")):
+        reads, rfos = results[key]
+        p_reads, p_rfos = PAPER[key]
+        rows.append((f"{key[0]} {key[1]}", reads, p_reads, rfos, p_rfos))
+    emit(
+        format_table(
+            ["Case", "READ/pkt", "paper", "RFO/pkt", "paper"],
+            rows,
+            title="Fig 17. NIC-socket remote accesses per TX-RX loopback",
+        )
+    )
+    cc_b = results[("ccnic", "batch")]
+    un_b = results[("unopt", "batch")]
+    cc_s = results[("ccnic", "single")]
+    un_s = results[("unopt", "single")]
+    # Batched CC-NIC: ~1 payload read + 1/4 group read; few RFOs.
+    assert 1.0 <= cc_b[0] <= 1.6
+    assert cc_b[1] <= 0.5
+    # The unoptimized interface does more of both, in batch and single.
+    assert un_b[0] > cc_b[0]
+    assert un_b[1] > cc_b[1]
+    assert un_s[0] > cc_s[0]
+    assert un_s[1] > cc_s[1]
+    # Batching amortizes metadata transfers for both designs.
+    assert cc_s[0] > 1.5 * cc_b[0]
+    assert un_s[0] > 1.5 * un_b[0]

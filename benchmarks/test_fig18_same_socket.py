@@ -1,0 +1,53 @@
+"""Fig 18: same-socket NIC deployment (no UPI crossing).
+
+Deploying the software NIC's threads on the host CPU removes all
+cross-interconnect transfers. Paper: the interconnect accounts for
+~40-50% of TX-RX loopback latency, and the same-socket case reaches
+1.5x the per-thread throughput.
+"""
+
+from conftest import emit
+
+from repro.analysis import InterfaceKind, format_table
+from repro.analysis.loopback import build_interface, run_point
+from repro.platform import spr
+
+
+def measure(same_socket):
+    setup = build_interface(spr(), InterfaceKind.CCNIC, same_socket=same_socket)
+    lat = run_point(setup, 64, 800, inflight=1, tx_batch=1, rx_batch=1)
+    setup2 = build_interface(spr(), InterfaceKind.CCNIC, same_socket=same_socket)
+    sat = run_point(setup2, 64, 12000, inflight=384, tx_batch=32, rx_batch=32)
+    return {"min_ns": lat.latency.minimum, "mpps": sat.mpps}
+
+
+def run_fig18():
+    return {
+        "remote": measure(same_socket=False),
+        "same": measure(same_socket=True),
+    }
+
+
+def test_fig18_same_socket(run_once):
+    results = run_once(run_fig18)
+    emit(
+        format_table(
+            ["Deployment", "Min lat [ns]", "Per-thread [Mpps]"],
+            [
+                ("Remote-socket NIC (cross-UPI)", results["remote"]["min_ns"],
+                 results["remote"]["mpps"]),
+                ("Same-socket NIC", results["same"]["min_ns"],
+                 results["same"]["mpps"]),
+            ],
+            title="Fig 18. Same-socket vs cross-UPI single-thread loopback "
+            "(paper: interconnect is 40-50% of latency; 1.5x per-thread "
+            "throughput same-socket)",
+        )
+    )
+    remote, same = results["remote"], results["same"]
+    interconnect_share = 1 - same["min_ns"] / remote["min_ns"]
+    # The interconnect contributes a large minority of loopback latency.
+    assert 0.30 <= interconnect_share <= 0.65
+    # Same-socket per-thread throughput is substantially higher.
+    speedup = same["mpps"] / remote["mpps"]
+    assert 1.2 <= speedup <= 2.2

@@ -1,0 +1,28 @@
+"""Table 1: PCIe/CXL/UPI bandwidth comparison."""
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.platform import table1_rows
+
+PAPER_ROWS = {
+    "PCIe 4.0": (16.0, 2.0, 31.5),
+    "PCIe 5.0, CXL 1.0-2.0": (32.0, 3.9, 63.0),
+    "PCIe 6.0, CXL 3.0": (64.0, 7.6, 121.0),
+    "Ice Lake UPI": (11.2, 22.4, 67.2),
+    "Sapphire Rapids UPI": (16.0, 48.0, 192.0),
+}
+
+
+def test_table1(run_once):
+    rows = run_once(table1_rows)
+    emit(
+        format_table(
+            ["Protocol", "GT/s", "1 Link GB/s", "Max Total GB/s"],
+            rows,
+            title="Table 1. PCIe, CXL and UPI bandwidth",
+        )
+    )
+    for protocol, gts, one, total in rows:
+        paper = PAPER_ROWS[protocol]
+        assert (gts, one, total) == paper

@@ -1,0 +1,49 @@
+"""Table 2 (TCP echo RPC row): TAS fast-path thread count.
+
+A TAS-style userspace TCP fast path serves 64B echo RPCs across 96
+flows. The paper measures the fast-path threads needed for 95% of peak:
+5 with the direct CX6 interface, 3 with the CC-NIC Overlay (peak 58.3
+vs 64.6 Mops, both limited by the CX6 packet rate).
+"""
+
+from conftest import emit
+
+from repro.analysis import InterfaceKind, format_table
+from repro.apps.tas import rpc_thread_study
+from repro.platform import icx
+
+
+def run_table2():
+    out = {}
+    for kind in (InterfaceKind.CCNIC, InterfaceKind.CX6):
+        out[kind.value] = rpc_thread_study(icx(), kind, n_ops=2500)
+    return out
+
+
+def test_table2_tcp_rpc(run_once):
+    results = run_once(run_table2)
+    rows = []
+    for kind, label in (("cx6", "PCIe (CX6)"), ("ccnic", "CC-NIC Overlay")):
+        study = results[kind]
+        rows.append(
+            (
+                label,
+                study.per_thread_mops,
+                study.peak_mops,
+                study.threads_to_saturate(),
+            )
+        )
+    emit(
+        format_table(
+            ["Interface", "Per-thread [Mops]", "Peak [Mops]", "Threads for 95%"],
+            rows,
+            title="Table 2 (RPC row). TCP echo RPC fast-path threads "
+            "(paper: 5 with CX6, 3 with CC-NIC; 58.3 vs 64.6 Mops peak)",
+        )
+    )
+    cc = results["ccnic"]
+    px = results["cx6"]
+    # Fewer fast-path threads saturate the NIC with the coherent interface.
+    assert cc.threads_to_saturate() < px.threads_to_saturate()
+    # Per-thread fast-path rate is meaningfully higher.
+    assert cc.per_thread_mops > 1.25 * px.per_thread_mops

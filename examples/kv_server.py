@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Key-value store over CC-NIC: the paper's application study (§5.7).
+
+Runs a CliqueMap-style KV server thread against the Ads object-size
+distribution (61% of objects under 100B), once over the CC-NIC coherent
+interface and once over the CX6-style PCIe interface, and reports the
+per-thread service rate plus how many application threads each
+deployment needs to saturate the NIC.
+
+Run:  python examples/kv_server.py
+"""
+
+from repro.analysis import InterfaceKind, format_table
+from repro.apps.kvstore import KvWorkload, kv_thread_study
+from repro.platform import icx
+
+
+def main() -> None:
+    spec = icx()
+    workload = KvWorkload.ads()
+    rows = []
+    studies = {}
+    for kind in (InterfaceKind.CX6, InterfaceKind.CCNIC):
+        study = kv_thread_study(spec, kind, workload, n_ops=2000)
+        studies[kind.value] = study
+        rows.append(
+            (
+                "CC-NIC Overlay" if kind is InterfaceKind.CCNIC else "PCIe (CX6)",
+                study.per_thread_mops,
+                study.peak_mops,
+                study.threads_to_saturate(spec),
+            )
+        )
+    print(format_table(
+        ["Deployment", "Per-thread [Mops]", "Peak [Mops]", "Threads to saturate"],
+        rows,
+        title="KV store (Ads, 95% get / 5% set, Zipf 0.75) on ICX "
+        "(paper: 16 threads with the CX6, 8 with CC-NIC)",
+    ))
+    print()
+    print("Throughput vs thread count:")
+    points = []
+    for threads in (1, 2, 4, 8, 12, 16):
+        points.append(
+            (
+                threads,
+                studies["cx6"].throughput(threads, spec),
+                studies["ccnic"].throughput(threads, spec),
+            )
+        )
+    print(format_table(["Threads", "PCIe [Mops]", "CC-NIC [Mops]"], points))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: bring up CC-NIC on a simulated Ice Lake server.
+
+Builds the two-socket platform, creates a CC-NIC interface with one
+queue pair, and exercises the Figure 5 data-plane API directly — then
+runs the loopback traffic generator for a quick latency/throughput
+reading.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import format_table
+from repro.core import CcnicConfig, CcnicInterface
+from repro.core.api import buf_alloc, buf_free, rx_burst, tx_burst
+from repro.platform import System, icx
+from repro.workloads.packets import Packet
+from repro.workloads.trafficgen import run_loopback
+
+
+def manual_api_demo() -> None:
+    """Send four packets by hand through the public API."""
+    system = System(icx())
+    nic = CcnicInterface(system, CcnicConfig())
+    driver = nic.driver(0)
+    nic.start()
+
+    # ccnic_buf_alloc: four small-packet buffers from the shared pool.
+    bufs, ns = buf_alloc(nic.pool, driver.agent, 4, [64] * 4)
+    print(f"allocated {len(bufs)} buffers in {ns:.1f}ns "
+          f"(small={bufs[0].small}, capacity={bufs[0].capacity}B)")
+
+    # Write payloads, then ccnic_tx_burst.
+    entries = []
+    for buf in bufs:
+        driver.write_payload(buf, 64)
+        entries.append((buf, Packet(size=64, tx_ns=system.now)))
+    sent, ns = tx_burst(driver, entries)
+    print(f"tx_burst accepted {sent} packets in {ns:.1f}ns")
+
+    # Poll ccnic_rx_burst until the NIC loops them back.
+    received = []
+
+    def app():
+        while len(received) < 4:
+            got, cost = rx_burst(driver, 8)
+            received.extend(got)
+            yield max(cost, 1.0)
+
+    system.sim.spawn(app(), "quickstart-app")
+    system.sim.run(until=1e6, stop_when=lambda: len(received) >= 4)
+    for pkt, _buf in received:
+        pkt.rx_ns = system.now
+    print(f"received {len(received)} packets back at t={system.now:.0f}ns")
+
+    # ccnic_buf_free returns the buffers to the pool.
+    buf_free(nic.pool, driver.agent, [buf for _pkt, buf in received])
+
+
+def loopback_measurement() -> None:
+    """Minimum latency and single-queue saturation on ICX."""
+    rows = []
+    for label, kwargs in (
+        ("min latency (1 in flight)", dict(inflight=1, tx_batch=1, rx_batch=1, n_packets=1000)),
+        ("saturation (batch 32)", dict(inflight=256, tx_batch=32, rx_batch=32, n_packets=10000)),
+    ):
+        system = System(icx())
+        nic = CcnicInterface(system, CcnicConfig(ring_slots=1024, recycle_stack_max=1024))
+        driver = nic.driver(0)
+        nic.start()
+        result = run_loopback(system, driver, pkt_size=64, **kwargs)
+        rows.append((label, result.latency.minimum, result.latency.median, result.mpps))
+    print()
+    print(format_table(
+        ["Scenario", "Min lat [ns]", "Median [ns]", "Mpps"],
+        rows,
+        title="CC-NIC 64B loopback on simulated ICX (paper: 490ns minimum)",
+    ))
+
+
+if __name__ == "__main__":
+    manual_api_demo()
+    loopback_measurement()

@@ -1,0 +1,43 @@
+"""CC-NIC reproduction: a cache-coherent host-NIC interface.
+
+This package reproduces *CC-NIC: a Cache-Coherent Interface to the NIC*
+(Schuh et al., ASPLOS 2024) as a pure-Python system built on a
+discrete-event simulation of a dual-socket coherent platform.
+
+Layers, bottom-up:
+
+``repro.sim``
+    Discrete-event engine, virtual nanosecond clock, statistics.
+``repro.mem``
+    Physical address space, cache-line math, memory types, regions.
+``repro.interconnect``
+    Generic link cost model; UPI and PCIe instances.
+``repro.coherence``
+    MESIF line states, cache models, coherence protocol, counters,
+    hardware prefetcher model.
+``repro.platform``
+    Two-socket system builders with Ice Lake (ICX) and Sapphire Rapids
+    (SPR) presets calibrated to the paper's microbenchmarks.
+``repro.pcie``
+    MMIO (UC / write-combining) and DMA device access paths.
+``repro.nicmodels``
+    Descriptor rings and baseline NIC interface models: E810-like and
+    CX6-like PCIe NICs, and the unoptimized-UPI baseline.
+``repro.core``
+    CC-NIC itself: the public data-plane API, shared recycling buffer
+    pool, inlined-signal descriptor-group queues, host driver and NIC
+    agent.
+``repro.workloads``
+    Packet types, loopback traffic generation, load control, and the
+    Ads / Geo / Zipf distributions used by the application studies.
+``repro.apps``
+    Key-value store (CliqueMap-like), TAS-like TCP RPC fast path, and
+    the CC-NIC overlay bridge.
+``repro.analysis``
+    Sweep harnesses, the multi-core scaling model, and table/figure
+    formatters used by the benchmark suite.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,23 @@
+"""Experiment harnesses: sweeps, scaling model, microbenchmarks, tables."""
+
+from repro.analysis.loopback import (
+    InterfaceKind,
+    LoopbackSetup,
+    build_interface,
+    run_point,
+    saturation,
+)
+from repro.analysis.scaling import CurvePoint, ScalingModel, throughput_latency_curve
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "CurvePoint",
+    "InterfaceKind",
+    "LoopbackSetup",
+    "ScalingModel",
+    "build_interface",
+    "format_table",
+    "run_point",
+    "saturation",
+    "throughput_latency_curve",
+]

@@ -1,0 +1,305 @@
+"""Microbenchmark harnesses reproducing §2.2 and §3.2-3.3 figures.
+
+Each function builds a fresh simulated system, constructs the cache
+state the paper's microbenchmark constructs, and measures the same
+quantity:
+
+* :func:`access_latency_cases` — Fig 7 (64B access latency by cache
+  state and homing).
+* :func:`pingpong` — Fig 8 (producer-consumer round trip by layout).
+* :func:`stream_throughput` — Fig 9 (caching vs non-temporal streaming
+  across thread counts).
+* :func:`wc_write_throughput` — Fig 2 (WC MMIO / WC DRAM / WB DRAM
+  streaming writes per barrier size).
+* :func:`wc_store_latency` — Fig 3 (cumulative latency of N scattered
+  MMIO stores; the write-combining buffer cliff).
+* :func:`mmio_read_latency` — §2.2's 8B / 64B MMIO load latencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.pcie.mmio import MmioPath
+from repro.pcie.wc import WcBufferFile
+from repro.platform.presets import PlatformSpec
+from repro.platform.system import System
+from repro.sim.stats import Histogram
+
+
+# ----------------------------------------------------------------------
+# Fig 7: access latency by cache state
+# ----------------------------------------------------------------------
+def access_latency_cases(spec: PlatformSpec) -> Dict[str, float]:
+    """Median 64B access latency for the five Fig 7 cases.
+
+    Cases: local DRAM, remote DRAM, local L2 (another core's cache on
+    the same socket), remote L2 homed on the remote/writer socket (rh),
+    and remote L2 homed on the local/reader socket (lh).
+    """
+    out: Dict[str, float] = {}
+
+    def fresh():
+        system = System(spec, prefetch_host=False, prefetch_nic=False)
+        reader = system.fabric.new_agent("reader", socket=0, capacity_lines=spec.l2_lines)
+        local_peer = system.fabric.new_agent("peer", socket=0, capacity_lines=spec.l2_lines)
+        remote = system.fabric.new_agent("remote", socket=1, capacity_lines=spec.l2_lines)
+        return system, reader, local_peer, remote
+
+    # Local DRAM: nothing cached, memory homed on the reader's socket.
+    system, reader, _peer, _remote = fresh()
+    region = system.alloc_on("obj", 64, socket=0)
+    out["L DRAM"] = system.fabric.read(reader, region.base, 64)
+
+    # Remote DRAM: nothing cached, homed on the other socket.
+    system, reader, _peer, _remote = fresh()
+    region = system.alloc_on("obj", 64, socket=1)
+    out["R DRAM"] = system.fabric.read(reader, region.base, 64)
+
+    # Local L2: a same-socket peer holds the line in M state.
+    system, reader, peer, _remote = fresh()
+    region = system.alloc_on("obj", 64, socket=0)
+    system.fabric.write(peer, region.base, 64)
+    out["L L2"] = system.fabric.read(reader, region.base, 64)
+
+    # Remote L2, writer-homed (rh): remote wrote and retains M; memory
+    # homed on the remote socket.
+    system, reader, _peer, remote = fresh()
+    region = system.alloc_on("obj", 64, socket=1)
+    system.fabric.write(remote, region.base, 64)
+    out["R L2 (rh)"] = system.fabric.read(reader, region.base, 64)
+
+    # Remote L2, reader-homed (lh).
+    system, reader, _peer, remote = fresh()
+    region = system.alloc_on("obj", 64, socket=0)
+    system.fabric.write(remote, region.base, 64)
+    out["R L2 (lh)"] = system.fabric.read(reader, region.base, 64)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig 8: pingpong
+# ----------------------------------------------------------------------
+PINGPONG_CASES = ("S0", "S1", "Rd", "Wr", "S0C", "S1C")
+
+
+def pingpong(spec: PlatformSpec, case: str, iterations: int = 300) -> Histogram:
+    """Two-register pingpong between the sockets; returns RTT histogram.
+
+    The writer (socket 0) increments register 1; the reader (socket 1)
+    polls it and echoes into register 2; the writer polls register 2.
+    ``case`` selects homing/colocation, matching Fig 8's x-axis.
+    """
+    if case not in PINGPONG_CASES:
+        raise ValueError(f"unknown pingpong case {case!r}")
+    system = System(spec, prefetch_host=False, prefetch_nic=False)
+    writer = system.fabric.new_agent("writer", socket=0, capacity_lines=spec.l2_lines)
+    reader = system.fabric.new_agent("reader", socket=1, capacity_lines=spec.l2_lines)
+
+    if case in ("S0C", "S1C"):
+        home = 0 if case == "S0C" else 1
+        region = system.alloc_on("pp", 64, socket=home)
+        addr1, addr2 = region.base, region.base + 8
+    else:
+        if case == "S0":
+            h1 = h2 = 0
+        elif case == "S1":
+            h1 = h2 = 1
+        elif case == "Rd":
+            h1, h2 = 1, 0   # each register homed on its reader's socket
+        else:  # Wr
+            h1, h2 = 0, 1   # each register homed on its writer's socket
+        addr1 = system.alloc_on("pp1", 64, socket=h1).base
+        addr2 = system.alloc_on("pp2", 64, socket=h2).base
+
+    values = {"r1": 0, "r2": 0}
+    rtts = Histogram("pingpong_rtt")
+    state = {"start": 0.0, "done": False, "count": 0}
+
+    def writer_proc():
+        fabric = system.fabric
+        sim = system.sim
+        while state["count"] < iterations:
+            target = values["r1"] + 1
+            ns = fabric.write(writer, addr1, 8)
+            values["r1"] = target
+            state["start"] = sim.now
+            yield ns
+            while values["r2"] < target:
+                yield fabric.read(writer, addr2, 8)
+            rtts.record(sim.now - state["start"])
+            state["count"] += 1
+        state["done"] = True
+
+    def reader_proc():
+        fabric = system.fabric
+        seen = 0
+        while not state["done"]:
+            ns = fabric.read(reader, addr1, 8)
+            if values["r1"] > seen:
+                seen = values["r1"]
+                ns += fabric.write(reader, addr2, 8)
+                values["r2"] = seen
+            yield max(ns, 1.0)
+
+    system.sim.spawn(writer_proc(), "pp-writer")
+    system.sim.spawn(reader_proc(), "pp-reader")
+    system.sim.run(until=1e9, stop_when=lambda: state["done"])
+    return rtts
+
+
+# ----------------------------------------------------------------------
+# Fig 9: streaming transfer throughput
+# ----------------------------------------------------------------------
+def stream_throughput(
+    spec: PlatformSpec,
+    pairs: int,
+    caching: bool,
+    chunk_bytes: int = 65536,
+    chunks: int = 12,
+) -> float:
+    """Aggregate reader-side Gbps for ``pairs`` writer/reader pairs.
+
+    Writers on socket 0 stream into shared regions; readers on socket 1
+    poll a signal per chunk, read the chunk, and copy into a local
+    buffer — the paper's Fig 9 workload. ``caching=False`` switches the
+    writer to non-temporal stores targeting reader-socket DRAM.
+    """
+    system = System(spec, prefetch_host=False, prefetch_nic=False)
+    done = {"count": 0}
+    total_bytes = pairs * chunks * chunk_bytes
+    per_core_l2 = spec.l2_lines
+
+    start_ns = [None]
+    end_ns = [0.0]
+
+    for pair in range(pairs):
+        writer = system.fabric.new_agent(f"w{pair}", socket=0, capacity_lines=per_core_l2)
+        reader = system.fabric.new_agent(f"r{pair}", socket=1, capacity_lines=per_core_l2)
+        # Caching stores target writer-socket memory (cache-to-cache
+        # transfers); non-temporal stores target reader-socket DRAM, as
+        # in the paper.
+        shared = system.alloc_on(f"sh{pair}", chunk_bytes, socket=0 if caching else 1)
+        local = system.alloc_on(f"lo{pair}", chunk_bytes, socket=1)
+        signal = system.alloc_on(f"sig{pair}", 64, socket=0)
+        progress = {"written": 0, "read": 0}
+
+        def writer_proc(writer=writer, shared=shared, signal=signal, progress=progress):
+            fabric = system.fabric
+            for _chunk in range(chunks):
+                while progress["written"] - progress["read"] >= 2:
+                    yield fabric.read(writer, signal.base + 8, 8)
+                if caching:
+                    ns = fabric.access(writer, shared.base, chunk_bytes, write=True)
+                else:
+                    ns = fabric.nt_store(writer, shared.base, chunk_bytes)
+                ns += fabric.write(writer, signal.base, 8)
+                progress["written"] += 1
+                yield ns
+
+        def reader_proc(reader=reader, shared=shared, local=local, signal=signal, progress=progress):
+            fabric = system.fabric
+            sim = system.sim
+            for _chunk in range(chunks):
+                while progress["read"] >= progress["written"]:
+                    yield fabric.read(reader, signal.base, 8)
+                ns = fabric.access(reader, shared.base, chunk_bytes, write=False)
+                ns += fabric.access(reader, local.base, chunk_bytes, write=True)
+                ns += fabric.write(reader, signal.base + 8, 8)
+                progress["read"] += 1
+                if start_ns[0] is None:
+                    start_ns[0] = sim.now
+                end_ns[0] = sim.now + ns
+                yield ns
+            done["count"] += 1
+
+        system.sim.spawn(writer_proc(), f"stream-w{pair}")
+        system.sim.spawn(reader_proc(), f"stream-r{pair}")
+
+    system.sim.run(until=1e10, stop_when=lambda: done["count"] >= pairs)
+    elapsed = max(1.0, end_ns[0] - (start_ns[0] or 0.0))
+    return total_bytes * 8.0 / elapsed
+
+
+# ----------------------------------------------------------------------
+# Fig 2: WC write throughput per barrier size
+# ----------------------------------------------------------------------
+def wc_write_throughput(
+    spec: PlatformSpec,
+    target: str,
+    bytes_per_barrier: int,
+    total_bytes: int = 262144,
+) -> float:
+    """Single-threaded streaming-write Gbps with a fence per barrier.
+
+    ``target`` is one of ``"wc_mmio"`` (device window over PCIe),
+    ``"wc_dram"`` (WC-mapped local DRAM), ``"wb_dram"`` (normal
+    write-back stores, fences effectively free).
+    """
+    if bytes_per_barrier < 64 or bytes_per_barrier % 64:
+        raise ValueError("bytes_per_barrier must be a positive multiple of 64")
+    if target == "wb_dram":
+        # Write-back stores retire into the store buffer and drain
+        # continuously; an sfence barely perturbs a steady stream, so
+        # throughput is flat in barrier size (the paper's WB curve).
+        per_line = spec.cost.local_dram / (spec.write_pipeline * spec.mlp)
+        fence = 1.0
+        ns = 0.0
+        written = 0
+        while written < total_bytes:
+            ns += (bytes_per_barrier // 64) * per_line + fence
+            written += bytes_per_barrier
+        return total_bytes * 8.0 / ns
+
+    nic = spec.nic("e810")
+    if target == "wc_mmio":
+        wc = WcBufferFile(
+            n_buffers=nic.wc_buffers,
+            evict_stall_ns=nic.wc_evict_stall_ns,
+        )
+    elif target == "wc_dram":
+        wc = WcBufferFile(
+            n_buffers=nic.wc_buffers,
+            full_flush_ns=4.2,
+            evict_stall_ns=80.0,
+        )
+    else:
+        raise ValueError(f"unknown target {target!r}")
+    ns = 0.0
+    written = 0
+    addr = 0
+    while written < total_bytes:
+        for _ in range(bytes_per_barrier // 64):
+            ns += wc.store(addr, 64)
+            addr += 64
+            written += 64
+        ns += wc.sfence()
+    return total_bytes * 8.0 / ns
+
+
+# ----------------------------------------------------------------------
+# Fig 3: cumulative latency of N scattered MMIO stores
+# ----------------------------------------------------------------------
+def wc_store_latency(spec: PlatformSpec, nic_name: str, max_stores: int = 64) -> List[Tuple[int, float]]:
+    """Cumulative ns after N 32-bit stores to distinct 64B regions."""
+    nic = spec.nic(nic_name)
+    points = []
+    for n in range(1, max_stores + 1):
+        wc = WcBufferFile(
+            n_buffers=nic.wc_buffers,
+            evict_stall_ns=nic.wc_evict_stall_ns,
+        )
+        total = 0.0
+        for i in range(n):
+            total += wc.store(i * 128, 4)  # distinct lines, never filled
+        points.append((n, total))
+    return points
+
+
+# ----------------------------------------------------------------------
+# §2.2: MMIO read latency
+# ----------------------------------------------------------------------
+def mmio_read_latency(spec: PlatformSpec, nic_name: str = "e810") -> Dict[str, float]:
+    """MMIO load latency for 8B and 64B reads."""
+    mmio = MmioPath(spec.nic(nic_name))
+    return {"8B": mmio.read(8), "64B": mmio.read(64)}

@@ -1,0 +1,205 @@
+"""Multi-core scaling model.
+
+The detailed simulation layer runs one queue pair per process; fleet-
+scale curves (Figs 11-13) compose a measured single-queue profile into
+n-core results. This is the documented substitution for hardware
+parallelism (DESIGN.md §5): the paper's multi-core curves are limited by
+per-core service time, interconnect bandwidth, and (for PCIe NICs) the
+device packet engine — all three captured here.
+
+For ``n`` cores offering total rate ``R``:
+
+* per-core service is measured by a detailed open-loop run at ``R/n``;
+* the shared bottleneck (UPI direction or NIC packet engine) adds an
+  M/M/1-style waiting term ``w = s * rho / (1 - rho)`` where ``s`` is
+  the bottleneck's per-packet service time and ``rho`` the utilization
+  from all cores together;
+* achievable throughput is capped at
+  ``min(n * per_core_rate, bottleneck_capacity)``.
+
+Hyperthread counts above the physical core count scale per-core rate by
+the platform's measured HT speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.analysis.loopback import (
+    InterfaceKind,
+    LoopbackSetup,
+    build_interface,
+    run_point,
+    wire_bytes_per_packet,
+)
+from repro.errors import ConfigError
+from repro.platform.presets import PlatformSpec
+
+
+@dataclass
+class CurvePoint:
+    """One point of a throughput-latency curve."""
+
+    offered_mpps: float
+    achieved_mpps: float
+    achieved_gbps: float
+    median_latency_ns: float
+    p99_latency_ns: float
+    cores: int
+
+    def __repr__(self) -> str:
+        return (
+            f"CurvePoint(cores={self.cores}, {self.achieved_mpps:.1f}Mpps, "
+            f"{self.achieved_gbps:.1f}Gbps, median={self.median_latency_ns:.0f}ns)"
+        )
+
+
+@dataclass
+class ScalingModel:
+    """Measured single-queue profile plus shared-resource capacities."""
+
+    spec: PlatformSpec
+    kind: InterfaceKind
+    pkt_size: int
+    per_queue_sat_mpps: float
+    wire_bytes_dir0: float
+    wire_bytes_dir1: float
+    nic_pps_capacity: Optional[float]   # PCIe packet engine, else None
+    nic_line_gbps: Optional[float]
+
+    # ------------------------------------------------------------------
+    @property
+    def link_capacity_bytes_per_ns(self) -> float:
+        return self.spec.upi_wire_bytes_per_ns if self.kind.is_coherent \
+            else self.spec.pcie_wire_bytes_per_ns
+
+    def bottleneck_mpps(self) -> float:
+        """Total packet rate the shared resources can sustain."""
+        per_dir = max(self.wire_bytes_dir0, self.wire_bytes_dir1)
+        if per_dir <= 0:
+            link_cap = float("inf")
+        else:
+            link_cap = self.link_capacity_bytes_per_ns / per_dir * 1e3  # Mpps
+        caps = [link_cap]
+        if self.nic_pps_capacity is not None:
+            caps.append(self.nic_pps_capacity / 1e6)
+        if self.nic_line_gbps is not None:
+            caps.append(self.nic_line_gbps / (self.pkt_size * 8e-3))
+        return min(caps)
+
+    def per_core_rate(self, cores: int) -> float:
+        """Per-thread saturation rate, with HT beyond physical cores."""
+        if cores <= self.spec.cores_per_socket:
+            return self.per_queue_sat_mpps
+        # Threads beyond the physical core count share cores: total
+        # speedup of a fully-HT core is ht_speedup, so each of its two
+        # threads runs at ht_speedup / 2 of a full core.
+        return self.per_queue_sat_mpps * self.spec.ht_speedup / 2.0
+
+    def max_mpps(self, cores: int) -> float:
+        """Achievable total rate for ``cores`` threads."""
+        if cores <= 0:
+            raise ConfigError("cores must be positive")
+        physical = min(cores, self.spec.cores_per_socket)
+        extra = max(0, cores - self.spec.cores_per_socket)
+        core_limit = (
+            physical * self.per_queue_sat_mpps
+            + extra * self.per_queue_sat_mpps * (self.spec.ht_speedup - 1.0)
+        )
+        return min(core_limit, self.bottleneck_mpps())
+
+    def shared_wait_ns(self, total_mpps: float) -> float:
+        """M/M/1-style waiting time at the shared bottleneck."""
+        capacity = self.bottleneck_mpps()
+        if capacity <= 0 or capacity == float("inf"):
+            return 0.0
+        rho = min(0.995, total_mpps / capacity)
+        service_ns = 1e3 / capacity
+        return service_ns * rho / (1.0 - rho)
+
+
+def build_scaling_model(
+    spec: PlatformSpec,
+    kind: InterfaceKind,
+    pkt_size: int,
+    n_packets: int = 20000,
+    inflight: int = 384,
+    **build_kwargs,
+) -> ScalingModel:
+    """Measure a single queue in detail and wrap it in a scaling model."""
+    setup = build_interface(spec, kind, **build_kwargs)
+    result = run_point(
+        setup, pkt_size, n_packets, inflight=inflight, tx_batch=32, rx_batch=32
+    )
+    d0, d1 = wire_bytes_per_packet(setup, result)
+    nic_pps = None
+    nic_line = None
+    if not kind.is_coherent:
+        nic_spec = spec.nic(kind.value)
+        nic_pps = nic_spec.pps_capacity
+        nic_line = nic_spec.line_rate_gbps
+    return ScalingModel(
+        spec=spec,
+        kind=kind,
+        pkt_size=pkt_size,
+        per_queue_sat_mpps=result.mpps,
+        wire_bytes_dir0=d0,
+        wire_bytes_dir1=d1,
+        nic_pps_capacity=nic_pps,
+        nic_line_gbps=nic_line,
+    )
+
+
+def throughput_latency_curve(
+    spec: PlatformSpec,
+    kind: InterfaceKind,
+    pkt_size: int,
+    cores: int,
+    fractions: Optional[List[float]] = None,
+    n_packets: int = 8000,
+    model: Optional[ScalingModel] = None,
+    setup_factory: Optional[Callable[[], LoopbackSetup]] = None,
+    **build_kwargs,
+) -> List[CurvePoint]:
+    """Trace a throughput-latency curve for ``cores`` threads.
+
+    Each point runs a fresh detailed single-queue simulation at the
+    per-core offered rate and adds the shared-bottleneck waiting term.
+    """
+    if fractions is None:
+        fractions = [0.1, 0.3, 0.5, 0.7, 0.8, 0.9, 0.97]
+    if model is None:
+        model = build_scaling_model(spec, kind, pkt_size, **build_kwargs)
+    total_max = model.max_mpps(cores)
+    points: List[CurvePoint] = []
+    for fraction in fractions:
+        offered_total = total_max * fraction
+        offered_per_core = offered_total / cores
+        if setup_factory is not None:
+            setup = setup_factory()
+        else:
+            setup = build_interface(spec, kind, **build_kwargs)
+        result = run_point(
+            setup,
+            pkt_size,
+            n_packets,
+            offered_mpps=offered_per_core,
+            inflight=None,
+            tx_batch=32,
+            rx_batch=32,
+        )
+        achieved_per_core = min(result.mpps, offered_per_core)
+        achieved_total = min(achieved_per_core * cores, total_max)
+        wait = model.shared_wait_ns(achieved_total)
+        points.append(
+            CurvePoint(
+                offered_mpps=offered_total,
+                achieved_mpps=achieved_total,
+                achieved_gbps=achieved_total * pkt_size * 8e-3,
+                median_latency_ns=result.latency.median + wait,
+                p99_latency_ns=result.latency.percentile(99) + wait,
+                cores=cores,
+            )
+        )
+    return points

@@ -1,0 +1,124 @@
+"""Calibration self-check.
+
+The model pins a small set of constants to the paper's own
+microbenchmarks; everything else is derived. This module re-measures
+those anchors and reports drift, so a change anywhere in the substrate
+that silently breaks calibration is caught in one call::
+
+    from repro.analysis.validate import validate_calibration
+    report = validate_calibration()
+    assert report.ok, report.summary()
+
+`tests/test_validate.py` runs it in CI fashion; the benchmark suite's
+Fig 2/3/7 tests assert the same anchors against tighter bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.analysis.loopback import InterfaceKind, min_latency
+from repro.analysis.microbench import access_latency_cases, mmio_read_latency, wc_store_latency
+from repro.platform import icx, spr
+
+#: Anchors: (name, paper value, relative tolerance).
+_DEFAULT_TOLERANCE = 0.06
+
+
+@dataclass
+class Check:
+    """One calibration anchor's outcome."""
+
+    name: str
+    paper: float
+    measured: float
+    tolerance: float
+
+    @property
+    def error(self) -> float:
+        if self.paper == 0:
+            return 0.0
+        return abs(self.measured - self.paper) / self.paper
+
+    @property
+    def ok(self) -> bool:
+        return self.error <= self.tolerance
+
+    def __str__(self) -> str:
+        flag = "ok " if self.ok else "DRIFT"
+        return (
+            f"[{flag}] {self.name}: paper={self.paper:g} "
+            f"measured={self.measured:.4g} ({self.error:+.1%} vs ±{self.tolerance:.0%})"
+        )
+
+
+@dataclass
+class CalibrationReport:
+    """All anchors, with pass/fail."""
+
+    checks: List[Check] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    def failures(self) -> List[Check]:
+        return [check for check in self.checks if not check.ok]
+
+    def summary(self) -> str:
+        return "\n".join(str(check) for check in self.checks)
+
+
+def validate_calibration(
+    tolerance: float = _DEFAULT_TOLERANCE,
+    include_end_to_end: bool = True,
+) -> CalibrationReport:
+    """Re-measure every calibration anchor.
+
+    Args:
+        tolerance: Relative tolerance for the microbenchmark anchors.
+        include_end_to_end: Also check the headline end-to-end anchors
+            (minimum loopback latencies) against looser (±15%) bounds —
+            these are predictions, not calibration inputs, but drifting
+            far usually means a substrate regression.
+    """
+    report = CalibrationReport()
+
+    fig7_paper = {
+        "icx": {"L DRAM": 72, "R DRAM": 144, "L L2": 48,
+                "R L2 (rh)": 114, "R L2 (lh)": 119},
+        "spr": {"L DRAM": 108, "R DRAM": 191, "L L2": 82,
+                "R L2 (rh)": 171, "R L2 (lh)": 174},
+    }
+    for platform, spec in (("icx", icx()), ("spr", spr())):
+        cases = access_latency_cases(spec)
+        for target, paper in fig7_paper[platform].items():
+            report.checks.append(Check(
+                name=f"fig7.{platform}.{target}",
+                paper=float(paper),
+                measured=cases[target],
+                tolerance=tolerance,
+            ))
+
+    mmio = mmio_read_latency(icx())
+    report.checks.append(Check("mmio.read8", 982.0, mmio["8B"], tolerance))
+    report.checks.append(Check("mmio.read64", 1026.0, mmio["64B"], tolerance))
+
+    points = dict(wc_store_latency(icx(), "e810"))
+    report.checks.append(Check("fig3.n64_us", 20.0, points[64] / 1000.0, 0.25))
+
+    if include_end_to_end:
+        report.checks.append(Check(
+            "loopback.icx.ccnic_min", 490.0,
+            min_latency(icx(), InterfaceKind.CCNIC, n_packets=600), 0.15,
+        ))
+        report.checks.append(Check(
+            "loopback.icx.e810_min", 3809.0,
+            min_latency(icx(), InterfaceKind.E810, n_packets=400), 0.15,
+        ))
+        report.checks.append(Check(
+            "loopback.icx.cx6_min", 2116.0,
+            min_latency(icx(), InterfaceKind.CX6, n_packets=400), 0.15,
+        ))
+    return report

@@ -1,0 +1,13 @@
+"""Application studies: key-value store, TAS-like TCP RPC, overlay."""
+
+from repro.apps.kvstore import KvResult, KvServerApp, KvWorkload, kv_thread_study
+from repro.apps.tas import RpcResult, rpc_thread_study
+
+__all__ = [
+    "KvResult",
+    "KvServerApp",
+    "KvWorkload",
+    "RpcResult",
+    "kv_thread_study",
+    "rpc_thread_study",
+]

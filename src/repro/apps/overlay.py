@@ -1,0 +1,54 @@
+"""The CC-NIC Overlay deployment model (§4, used by §5.7).
+
+In the paper's end-to-end experiments, applications speak CC-NIC over
+UPI while *overlay threads* on the NIC socket bridge between the CC-NIC
+queues and a real PCIe NIC. In this reproduction the NIC-socket queue
+agents play that role directly: their measured busy time is the overlay
+thread cost.
+
+Two series from Fig 19 are derived from one detailed run:
+
+* **CC-NIC** — overlay threads are provisioned as needed; application
+  threads scale by their own service rate.
+* **UPI 1-1** — one overlay thread per application thread: per-thread
+  throughput is limited by whichever side is busier, which the paper
+  observes caps the series despite up-to-31% higher per-thread rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.loopback import InterfaceKind, build_interface
+from repro.apps.kvstore import KvServerApp, KvWorkload
+from repro.platform.presets import PlatformSpec
+
+
+@dataclass
+class OverlayProfile:
+    """Busy-time profile of one app thread + one overlay thread."""
+
+    app_mops: float        # application-thread service rate
+    overlay_mops: float    # overlay (NIC-socket agent) service rate
+
+    @property
+    def one_to_one_mops(self) -> float:
+        """Per-pair rate when overlay threads are 1-1 with app threads."""
+        return min(self.app_mops, self.overlay_mops)
+
+
+def measure_overlay_profile(
+    spec: PlatformSpec,
+    workload: KvWorkload,
+    n_ops: int = 2000,
+    probe_mops: float = 40.0,
+) -> OverlayProfile:
+    """Run one CC-NIC KV server thread and profile both pipeline stages."""
+    setup = build_interface(spec, InterfaceKind.CCNIC)
+    app = KvServerApp(setup, workload, offered_mops=probe_mops, n_ops=n_ops)
+    result = app.run()
+    agent = setup.interface.pair(0).agent
+    overlay_mops = 0.0
+    if agent.busy_ns > 0:
+        overlay_mops = result.ops / agent.busy_ns * 1e3
+    return OverlayProfile(app_mops=app.per_thread_mops, overlay_mops=overlay_mops)

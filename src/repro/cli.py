@@ -1,0 +1,297 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the measurement tooling used throughout the evaluation:
+
+``loopback``
+    Run a loopback measurement on one interface and print latency and
+    throughput (closed-loop or offered-rate).
+``microbench``
+    Print the §2.2/§3.2 microbenchmark tables (Figs 2, 3, 7, 8).
+``counters``
+    Run a batched loopback and print per-packet coherence-transaction
+    counts (Fig 17 style).
+``kv`` / ``rpc``
+    Run the application studies and print thread-count results.
+``table1``
+    Print the interconnect bandwidth comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import InterfaceKind, format_table
+from repro.analysis.loopback import build_interface, run_point, wire_bytes_per_packet
+from repro.analysis.microbench import (
+    PINGPONG_CASES,
+    access_latency_cases,
+    mmio_read_latency,
+    pingpong,
+    wc_store_latency,
+    wc_write_throughput,
+)
+from repro.platform import icx, spr, table1_rows
+from repro.platform.presets import PlatformSpec
+
+
+def _platform(name: str) -> PlatformSpec:
+    if name == "icx":
+        return icx()
+    if name == "spr":
+        return spr()
+    raise SystemExit(f"unknown platform {name!r} (use icx or spr)")
+
+
+def _kind(name: str) -> InterfaceKind:
+    try:
+        return InterfaceKind(name)
+    except ValueError:
+        choices = ", ".join(k.value for k in InterfaceKind)
+        raise SystemExit(f"unknown interface {name!r} (use one of: {choices})")
+
+
+# ----------------------------------------------------------------------
+def cmd_loopback(args: argparse.Namespace) -> int:
+    spec = _platform(args.platform)
+    kind = _kind(args.interface)
+    setup = build_interface(
+        spec,
+        kind,
+        same_socket=args.same_socket,
+        link_latency_factor=args.latency_factor,
+        link_bandwidth_factor=args.bandwidth_factor,
+    )
+    result = run_point(
+        setup,
+        pkt_size=args.size,
+        n_packets=args.packets,
+        inflight=None if args.rate else args.inflight,
+        offered_mpps=args.rate,
+        tx_batch=args.batch,
+        rx_batch=args.batch,
+    )
+    d0, d1 = wire_bytes_per_packet(setup, result)
+    print(format_table(
+        ["Metric", "Value"],
+        [
+            ("received packets", result.received),
+            ("throughput [Mpps]", result.mpps),
+            ("throughput [Gbps]", result.gbps),
+            ("min latency [ns]", result.latency.minimum),
+            ("median latency [ns]", result.latency.median),
+            ("p99 latency [ns]", result.latency.percentile(99)),
+            ("wire bytes/pkt (dir0)", d0),
+            ("wire bytes/pkt (dir1)", d1),
+        ],
+        title=f"{kind.value} loopback, {args.size}B packets on {spec.name}",
+    ))
+    return 0
+
+
+def cmd_microbench(args: argparse.Namespace) -> int:
+    spec = _platform(args.platform)
+    print(format_table(
+        ["Access target", "Latency [ns]"],
+        list(access_latency_cases(spec).items()),
+        title=f"Fig 7 access latency ({spec.name})",
+    ))
+    print()
+    print(format_table(
+        ["Layout", "RTT [ns]"],
+        [(case, pingpong(spec, case, 120).median) for case in PINGPONG_CASES],
+        title="Fig 8 pingpong",
+    ))
+    print()
+    print(format_table(
+        ["Bytes/barrier", "WC MMIO", "WC DRAM", "WB DRAM"],
+        [
+            (size,
+             wc_write_throughput(spec, "wc_mmio", size),
+             wc_write_throughput(spec, "wc_dram", size),
+             wc_write_throughput(spec, "wb_dram", size))
+            for size in (64, 512, 4096)
+        ],
+        title="Fig 2 streaming-write throughput [Gbps]",
+    ))
+    print()
+    points = dict(wc_store_latency(spec, "e810"))
+    print(format_table(
+        ["Stores", "Cumulative ns"],
+        [(n, points[n]) for n in (8, 24, 32, 64)],
+        title="Fig 3 WC store latency (E810)",
+    ))
+    print()
+    lat = mmio_read_latency(spec)
+    print(format_table(
+        ["Load", "Latency [ns]"], list(lat.items()), title="MMIO reads"
+    ))
+    return 0
+
+
+def cmd_counters(args: argparse.Namespace) -> int:
+    spec = _platform(args.platform)
+    kind = _kind(args.interface)
+    setup = build_interface(spec, kind)
+    result = run_point(setup, 64, args.packets, inflight=128,
+                       tx_batch=32, rx_batch=32)
+    counters = setup.system.fabric.snapshot_counters()
+    nic = setup.system.nic_socket
+    rows = [
+        (name.split(".", 1)[1], counters[name] / result.received)
+        for name in sorted(counters)
+        if name.startswith(f"s{nic}.")
+    ]
+    print(format_table(
+        ["NIC-socket transaction", "per packet"],
+        rows,
+        title=f"{kind.value} batched 64B loopback ({result.received} packets)",
+    ))
+    return 0
+
+
+def cmd_kv(args: argparse.Namespace) -> int:
+    from repro.apps.kvstore import KvWorkload, kv_thread_study
+
+    spec = _platform(args.platform)
+    workload = KvWorkload.ads() if args.distribution == "ads" else KvWorkload.geo()
+    rows = []
+    for kind in (InterfaceKind.CX6, InterfaceKind.CCNIC):
+        study = kv_thread_study(spec, kind, workload, n_ops=args.ops)
+        rows.append((kind.value, study.per_thread_mops, study.peak_mops,
+                     study.threads_to_saturate(spec)))
+    print(format_table(
+        ["Interface", "Per-thread [Mops]", "Peak [Mops]", "Threads to saturate"],
+        rows,
+        title=f"KV store ({args.distribution}) on {spec.name}",
+    ))
+    return 0
+
+
+def cmd_rpc(args: argparse.Namespace) -> int:
+    from repro.apps.tas import rpc_thread_study
+
+    spec = _platform(args.platform)
+    rows = []
+    for kind in (InterfaceKind.CX6, InterfaceKind.CCNIC):
+        study = rpc_thread_study(spec, kind, n_ops=args.ops)
+        rows.append((kind.value, study.per_thread_mops, study.peak_mops,
+                     study.threads_to_saturate()))
+    print(format_table(
+        ["Interface", "Per-thread [Mops]", "Peak [Mops]", "Threads for 95%"],
+        rows,
+        title=f"TCP echo RPC (TAS-like) on {spec.name}",
+    ))
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.analysis.validate import validate_calibration
+
+    report = validate_calibration(include_end_to_end=not args.fast)
+    print(report.summary())
+    if report.ok:
+        print("\ncalibration OK")
+        return 0
+    print(f"\n{len(report.failures())} anchor(s) drifted")
+    return 1
+
+
+def cmd_forwarding(args: argparse.Namespace) -> int:
+    from repro.apps.forwarding import forwarding_study
+
+    spec = _platform(args.platform)
+    results = forwarding_study(spec, pkt_size=args.size, n_packets=args.packets)
+    rows = [
+        (mode, r.mpps, r.wire_bytes_per_pkt, r.latency.median)
+        for mode, r in results.items()
+    ]
+    print(format_table(
+        ["Mode", "Rate [Mpps]", "Wire bytes/pkt", "Median lat [ns]"],
+        rows,
+        title=f"Middlebox forwarding over CC-NIC ({args.size}B, {spec.name})",
+    ))
+    return 0
+
+
+def cmd_table1(_args: argparse.Namespace) -> int:
+    print(format_table(
+        ["Protocol", "GT/s", "1 Link GB/s", "Max Total GB/s"],
+        table1_rows(),
+        title="Table 1. PCIe, CXL and UPI bandwidth",
+    ))
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CC-NIC reproduction measurement tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lb = sub.add_parser("loopback", help="loopback latency/throughput")
+    lb.add_argument("--platform", default="icx", choices=["icx", "spr"])
+    lb.add_argument("--interface", default="ccnic")
+    lb.add_argument("--size", type=int, default=64)
+    lb.add_argument("--packets", type=int, default=5000)
+    lb.add_argument("--inflight", type=int, default=64)
+    lb.add_argument("--rate", type=float, default=None,
+                    help="offered rate in Mpps (open loop)")
+    lb.add_argument("--batch", type=int, default=32)
+    lb.add_argument("--same-socket", action="store_true")
+    lb.add_argument("--latency-factor", type=float, default=1.0)
+    lb.add_argument("--bandwidth-factor", type=float, default=1.0)
+    lb.set_defaults(func=cmd_loopback)
+
+    mb = sub.add_parser("microbench", help="Figs 2/3/7/8 microbenchmarks")
+    mb.add_argument("--platform", default="icx", choices=["icx", "spr"])
+    mb.set_defaults(func=cmd_microbench)
+
+    ct = sub.add_parser("counters", help="Fig 17 coherence counters")
+    ct.add_argument("--platform", default="icx", choices=["icx", "spr"])
+    ct.add_argument("--interface", default="ccnic")
+    ct.add_argument("--packets", type=int, default=4000)
+    ct.set_defaults(func=cmd_counters)
+
+    kv = sub.add_parser("kv", help="KV store thread study")
+    kv.add_argument("--platform", default="icx", choices=["icx", "spr"])
+    kv.add_argument("--distribution", default="ads", choices=["ads", "geo"])
+    kv.add_argument("--ops", type=int, default=2000)
+    kv.set_defaults(func=cmd_kv)
+
+    rpc = sub.add_parser("rpc", help="TCP RPC thread study")
+    rpc.add_argument("--platform", default="icx", choices=["icx", "spr"])
+    rpc.add_argument("--ops", type=int, default=2000)
+    rpc.set_defaults(func=cmd_rpc)
+
+    t1 = sub.add_parser("table1", help="interconnect bandwidth table")
+    t1.set_defaults(func=cmd_table1)
+
+    val = sub.add_parser("validate", help="calibration self-check")
+    val.add_argument("--fast", action="store_true",
+                     help="skip the end-to-end loopback anchors")
+    val.set_defaults(func=cmd_validate)
+
+    fwd = sub.add_parser("forwarding", help="§6 network-function study")
+    fwd.add_argument("--platform", default="icx", choices=["icx", "spr"])
+    fwd.add_argument("--size", type=int, default=1500)
+    fwd.add_argument("--packets", type=int, default=2000)
+    fwd.set_defaults(func=cmd_forwarding)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

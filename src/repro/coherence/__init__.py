@@ -1,0 +1,8 @@
+"""MESIF coherence protocol model: caches, fabric, costs, prefetching."""
+
+from repro.coherence.cache import CacheAgent
+from repro.coherence.costs import CostModel
+from repro.coherence.fabric import CoherenceFabric
+from repro.coherence.state import LineState
+
+__all__ = ["CacheAgent", "CoherenceFabric", "CostModel", "LineState"]

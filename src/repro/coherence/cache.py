@@ -1,0 +1,104 @@
+"""Per-agent cache model.
+
+A :class:`CacheAgent` stands for one caching entity: a CPU core's private
+cache hierarchy (L1+L2 folded together) or a coherent device's on-chip
+cache. Tags are an LRU-ordered map from line number to
+:class:`~repro.coherence.state.LineState`. Capacity eviction reports the
+victim so the fabric can write back dirty data.
+
+The agent also hosts the per-core DCU-IP-style prefetcher state (last
+line touched per stream) used by :mod:`repro.coherence.prefetch`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.coherence.state import LineState
+from repro.errors import CoherenceError
+
+
+class CacheAgent:
+    """One caching agent participating in the coherence protocol.
+
+    Args:
+        name: Diagnostic label ("host-core0", "nic-agent", ...).
+        socket: Socket index this agent's cache lives on.
+        capacity_lines: Maximum number of lines held (LRU beyond that).
+        prefetch: Whether the hardware prefetcher is enabled.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        socket: int,
+        capacity_lines: int = 32768,
+        prefetch: bool = False,
+    ) -> None:
+        if capacity_lines <= 0:
+            raise CoherenceError(f"agent {name!r}: capacity must be positive")
+        self.name = name
+        self.socket = socket
+        self.capacity_lines = capacity_lines
+        self.prefetch = prefetch
+        self._lines: "OrderedDict[int, LineState]" = OrderedDict()
+        # Prefetcher stream state: region base -> last line touched.
+        self.stream_state: Dict[int, int] = {}
+        # Statistics.
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # Tag operations
+    # ------------------------------------------------------------------
+    def lookup(self, line: int) -> Optional[LineState]:
+        """State of ``line`` if present (refreshes LRU position)."""
+        state = self._lines.get(line)
+        if state is not None:
+            self._lines.move_to_end(line)
+        return state
+
+    def peek(self, line: int) -> Optional[LineState]:
+        """State of ``line`` without touching LRU order."""
+        return self._lines.get(line)
+
+    def set_state(self, line: int, state: LineState) -> None:
+        """Install or update ``line`` (refreshes LRU position)."""
+        self._lines[line] = state
+        self._lines.move_to_end(line)
+
+    def drop(self, line: int) -> Optional[LineState]:
+        """Remove ``line``; returns its former state (None if absent)."""
+        return self._lines.pop(line, None)
+
+    def evict_victim(self) -> Optional[Tuple[int, LineState]]:
+        """Pop the LRU line if over capacity; None when within capacity."""
+        if len(self._lines) <= self.capacity_lines:
+            return None
+        line, state = self._lines.popitem(last=False)
+        self.evictions += 1
+        return line, state
+
+    def holds(self, line: int) -> bool:
+        """True if the line is present in any state."""
+        return line in self._lines
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def lines(self) -> Iterator[int]:
+        """All resident line numbers, LRU-first."""
+        return iter(self._lines)
+
+    def clear(self) -> None:
+        """Drop every line (used for test isolation)."""
+        self._lines.clear()
+        self.stream_state.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"<CacheAgent {self.name!r} S{self.socket} "
+            f"{len(self._lines)}/{self.capacity_lines} lines>"
+        )

@@ -1,0 +1,96 @@
+"""Latency cost model for coherence transactions.
+
+The fields are calibrated per platform from the paper's own
+microbenchmarks (Fig 7's access-latency measurements and the §2.2 PCIe
+numbers). Values are *zero-load* latencies; queueing delay on a congested
+link is added on top by the fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Zero-load access latencies (ns) and protocol efficiency knobs.
+
+    Attributes:
+        l2_hit: Load/store hit in the agent's own cache.
+        local_cache: Line found in another cache on the same socket.
+        local_dram: Line fetched from same-socket DRAM.
+        remote_dram: Line fetched from the other socket's DRAM.
+        remote_cache_writer_homed: Line in a remote cache, memory homed
+            on the *remote* (writer) socket — the fast "rh" case of Fig 7.
+        remote_cache_reader_homed: Same but homed on the requester's
+            socket ("lh"): slightly slower and triggers a speculative
+            local memory read.
+        local_invalidate: Store upgrade invalidating same-socket sharers.
+        remote_invalidate: Store upgrade invalidating remote sharers
+            (one interconnect round trip).
+        store_buffer: Cost of a store that hits an owned (M/E) line —
+            effectively the store-buffer drain cost.
+        clflush: Per-line cost of CLFLUSHOPT.
+        nt_link_efficiency: Effective fraction of link bandwidth achieved
+            by non-temporal streaming stores (Fig 9 shows caching stores
+            reach 1.6-1.8x the NT rate; this models NT partial-write and
+            ordering inefficiency).
+    """
+
+    l2_hit: float
+    local_cache: float
+    local_dram: float
+    remote_dram: float
+    remote_cache_writer_homed: float
+    remote_cache_reader_homed: float
+    local_invalidate: float
+    remote_invalidate: float
+    store_buffer: float = 1.0
+    clflush: float = 80.0
+    nt_link_efficiency: float = 0.55
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "l2_hit",
+            "local_cache",
+            "local_dram",
+            "remote_dram",
+            "remote_cache_writer_homed",
+            "remote_cache_reader_homed",
+            "local_invalidate",
+            "remote_invalidate",
+            "store_buffer",
+            "clflush",
+        ):
+            if getattr(self, field_name) < 0:
+                raise ConfigError(f"cost {field_name} must be non-negative")
+        if not 0.0 < self.nt_link_efficiency <= 1.0:
+            raise ConfigError("nt_link_efficiency must be in (0, 1]")
+        if self.l2_hit > self.local_dram:
+            raise ConfigError("l2_hit should not exceed local_dram")
+        if self.local_dram > self.remote_dram:
+            raise ConfigError("local_dram should not exceed remote_dram")
+
+    def scaled_remote(self, factor: float) -> "CostModel":
+        """New model with all cross-socket latencies scaled by ``factor``.
+
+        Used by the Fig 21 sensitivity study (uncore down-clocking mainly
+        stretches remote-access latency).
+        """
+        if factor <= 0:
+            raise ConfigError("scale factor must be positive")
+        return CostModel(
+            l2_hit=self.l2_hit,
+            local_cache=self.local_cache,
+            local_dram=self.local_dram,
+            remote_dram=self.remote_dram * factor,
+            remote_cache_writer_homed=self.remote_cache_writer_homed * factor,
+            remote_cache_reader_homed=self.remote_cache_reader_homed * factor,
+            local_invalidate=self.local_invalidate,
+            remote_invalidate=self.remote_invalidate * factor,
+            store_buffer=self.store_buffer,
+            clflush=self.clflush,
+            nt_link_efficiency=self.nt_link_efficiency,
+        )

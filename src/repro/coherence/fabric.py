@@ -1,0 +1,576 @@
+"""The coherence protocol engine.
+
+:class:`CoherenceFabric` owns the global view of every cache line: which
+agents hold it and in what state. All modelled loads and stores to
+write-back memory flow through :meth:`access`, which
+
+* resolves where the data currently lives (own cache, a same-socket
+  cache, a remote cache, local or remote DRAM),
+* charges the calibrated zero-load latency for that case plus any
+  congestion-induced queueing delay on the inter-socket link,
+* performs the MESIF state transitions (HitM dirty-ownership transfer,
+  downgrades, invalidations, writebacks on eviction),
+* counts interconnect transactions per socket (the model of the offcore
+  response PMU counters the paper measures in Fig 17), and
+* drives the hardware-prefetcher model.
+
+Two timing behaviours are essential to reproducing the paper:
+
+**HitM transfers.** A load that snoops a Modified line in another cache
+receives the dirty data *and ownership*; the previous owner is
+invalidated. A consumer that reads a producer's fresh line can therefore
+clear or overwrite it afterwards without a second interconnect round
+trip — this is exactly the two-way single-line communication CC-NIC's
+inlined signals exploit (Fig 6b), and it is what makes the measured
+remote-request counts drop from 4 to 2 per pingpong (§3.2).
+
+**Store pipelining.** Stores retire into the store buffer, so a writer
+is not stalled for the full remote-invalidation round trip; the fabric
+charges ``miss_latency / write_pipeline`` to the writer while the state
+change (and the reader-visible invalidation) happens immediately.
+
+Multi-line accesses model memory-level parallelism: the first line pays
+full latency, subsequent lines overlap and pay ``latency / mlp``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.coherence.cache import CacheAgent
+from repro.coherence.costs import CostModel
+from repro.coherence.state import LineState
+from repro.errors import CoherenceError
+from repro.interconnect.link import Link
+from repro.interconnect.messages import MessageClass
+from repro.mem.address import lines_spanned
+from repro.mem.region import Region
+from repro.mem.space import AddressSpace
+from repro.sim.engine import Simulator
+from repro.sim.stats import Counter
+
+#: Default memory-level parallelism for overlapped line streaming.
+DEFAULT_MLP = 10.0
+
+#: Default store-buffer pipelining factor for write misses.
+DEFAULT_WRITE_PIPELINE = 2.0
+
+
+class CoherenceFabric:
+    """Global MESIF directory plus latency/bandwidth charging.
+
+    Args:
+        sim: Simulator supplying virtual time for link queueing.
+        space: Address space used to find each line's region (homing).
+        cost: Calibrated zero-load latency model.
+        link: Inter-socket coherent link (UPI). Direction convention:
+            messages *from* socket ``s`` travel on direction ``s``.
+        mlp: Memory-level parallelism for multi-line streaming accesses.
+        write_pipeline: Store-buffer overlap factor for write misses.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        space: AddressSpace,
+        cost: CostModel,
+        link: Link,
+        mlp: float = DEFAULT_MLP,
+        write_pipeline: float = DEFAULT_WRITE_PIPELINE,
+    ) -> None:
+        if mlp < 1.0:
+            raise CoherenceError(f"mlp must be >= 1, got {mlp}")
+        if write_pipeline < 1.0:
+            raise CoherenceError(f"write_pipeline must be >= 1, got {write_pipeline}")
+        self.sim = sim
+        self.space = space
+        self.cost = cost
+        self.link = link
+        self.mlp = mlp
+        self.write_pipeline = write_pipeline
+        self.counters = Counter()
+        self._holders: Dict[int, List[CacheAgent]] = {}
+        self._agents: List[CacheAgent] = []
+        # Local time already elapsed inside the current access/burst; the
+        # link uses it so a burst's own messages do not self-contend.
+        self._elapsed = 0.0
+        # Congestion waits accumulated by the current line access. They
+        # are serialization-bound, so the MLP/store-pipelining divisions
+        # that apply to latency must not shrink them.
+        self._pending_queue = 0.0
+
+    # ------------------------------------------------------------------
+    # Agent management
+    # ------------------------------------------------------------------
+    def register(self, agent: CacheAgent) -> CacheAgent:
+        """Attach an agent to the fabric."""
+        self._agents.append(agent)
+        return agent
+
+    def new_agent(
+        self,
+        name: str,
+        socket: int,
+        capacity_lines: int = 32768,
+        prefetch: bool = False,
+    ) -> CacheAgent:
+        """Create and register a new caching agent."""
+        return self.register(CacheAgent(name, socket, capacity_lines, prefetch))
+
+    @property
+    def agents(self) -> List[CacheAgent]:
+        return list(self._agents)
+
+    def _now(self) -> float:
+        return self.sim.now + self._elapsed
+
+    # ------------------------------------------------------------------
+    # Public access API
+    # ------------------------------------------------------------------
+    def read(self, agent: CacheAgent, addr: int, size: int = 8) -> float:
+        """Modelled load; returns latency in ns."""
+        return self.access(agent, addr, size, write=False)
+
+    def write(self, agent: CacheAgent, addr: int, size: int = 8) -> float:
+        """Modelled cacheable store; returns latency in ns."""
+        return self.access(agent, addr, size, write=True)
+
+    def access(self, agent: CacheAgent, addr: int, size: int, write: bool) -> float:
+        """Load or store ``size`` bytes at ``addr`` on behalf of ``agent``.
+
+        Returns the latency charged to the issuing agent in ns. The
+        first line pays full (possibly pipelined, for writes) latency;
+        further lines of a multi-line access overlap via ``mlp``.
+        """
+        if size <= 0:
+            raise CoherenceError(f"access size must be positive, got {size}")
+        region = self.space.region_of(addr)
+        if not region.memtype.is_cacheable:
+            raise CoherenceError(
+                f"coherent access to non-WB region {region.name!r} ({region.memtype})"
+            )
+        total = 0.0
+        self._elapsed = 0.0
+        for index, line in enumerate(lines_spanned(addr, size)):
+            self._pending_queue = 0.0
+            latency = self._line_access(agent, line, write, region)
+            if write:
+                latency /= self.write_pipeline
+            if index > 0:
+                latency /= self.mlp
+            total += latency + self._pending_queue
+            self._elapsed = total
+            self._maybe_prefetch(agent, line, region)
+        self._elapsed = 0.0
+        return total
+
+    def access_burst(
+        self,
+        agent: CacheAgent,
+        spans: List[tuple],
+        write: bool,
+    ) -> float:
+        """Independent accesses issued back-to-back by one core.
+
+        ``spans`` is a list of ``(addr, size)`` pairs with no data
+        dependence between them (e.g. the payloads of a received burst).
+        A real out-of-order core overlaps such misses in its fill
+        buffers, so only the first line pays full latency; every further
+        line pays ``latency / mlp``. Bandwidth and protocol state are
+        charged for every line exactly as in :meth:`access`.
+        """
+        total = 0.0
+        first = True
+        self._elapsed = 0.0
+        for addr, size in spans:
+            if size <= 0:
+                raise CoherenceError(f"access size must be positive, got {size}")
+            region = self.space.region_of(addr)
+            if not region.memtype.is_cacheable:
+                raise CoherenceError(
+                    f"coherent access to non-WB region {region.name!r}"
+                )
+            for line in lines_spanned(addr, size):
+                self._pending_queue = 0.0
+                latency = self._line_access(agent, line, write, region)
+                if write:
+                    latency /= self.write_pipeline
+                if first:
+                    first = False
+                else:
+                    latency /= self.mlp
+                total += latency + self._pending_queue
+                self._elapsed = total
+                self._maybe_prefetch(agent, line, region)
+        self._elapsed = 0.0
+        return total
+
+    def nt_store(self, agent: CacheAgent, addr: int, size: int) -> float:
+        """Non-temporal (cache-bypassing) store.
+
+        Data goes straight to the home memory controller. Cached copies
+        anywhere are invalidated. Sustained throughput is limited by the
+        NT fill-buffer drain, modelled as inflated wire bytes on the link
+        (``1 / nt_link_efficiency``).
+        """
+        if size <= 0:
+            raise CoherenceError(f"nt_store size must be positive, got {size}")
+        region = self.space.region_of(addr)
+        total = 0.0
+        self._elapsed = 0.0
+        inflate = 1.0 / self.cost.nt_link_efficiency
+        first = True
+        for line in lines_spanned(addr, size):
+            self._pending_queue = 0.0
+            latency = self._invalidate_others(agent, line)
+            if first:
+                first = False
+            else:
+                latency /= self.mlp
+            latency += self._pending_queue
+            dropped = agent.drop(line)
+            if dropped is not None:
+                self._forget_holder(agent, line)
+            # NT stores drain through the core's limited fill buffers:
+            # each line occupies a buffer until the home memory
+            # controller accepts it, so a sustained stream is paced by
+            # the (pipelined) memory round trip — unlike cacheable
+            # stores, which retire into the local cache.
+            drain = self.cost.remote_dram if region.home != agent.socket \
+                else self.cost.local_dram
+            latency += self.cost.store_buffer + drain / self.mlp
+            total += latency
+            if region.home != agent.socket:
+                total += self.link.occupy(
+                    MessageClass.WRITEBACK,
+                    direction=agent.socket,
+                    inflate=inflate,
+                    actor=agent.name,
+                )
+                self._count(agent.socket, "nt_store")
+            self._elapsed = total
+        self._elapsed = 0.0
+        return total
+
+    def flush(self, agent: CacheAgent, addr: int, size: int) -> float:
+        """CLFLUSHOPT: invalidate the lines from every cache.
+
+        Charged per line to the caller; dirty lines are written back to
+        their home.
+        """
+        region = self.space.region_of(addr)
+        total = 0.0
+        for line in lines_spanned(addr, size):
+            holders = self._holders.get(line)
+            if holders:
+                for holder in list(holders):
+                    state = holder.drop(line)
+                    if state is LineState.MODIFIED and region.home != holder.socket:
+                        self.link.occupy(
+                            MessageClass.WRITEBACK,
+                            direction=holder.socket,
+                            charge_queueing=False,
+                            actor=holder.name,
+                        )
+                        self._count(holder.socket, "writeback")
+                self._holders.pop(line, None)
+            total += self.cost.clflush
+        return total
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (used heavily by tests)
+    # ------------------------------------------------------------------
+    def state_in(self, agent: CacheAgent, addr: int) -> Optional[LineState]:
+        """State of the line containing ``addr`` in ``agent``'s cache."""
+        return agent.peek(addr // 64)
+
+    def holders_of(self, addr: int) -> List[CacheAgent]:
+        """Agents currently caching the line containing ``addr``."""
+        return list(self._holders.get(addr // 64, ()))
+
+    def snapshot_counters(self) -> Dict[str, float]:
+        """Copy of the transaction counters (offcore-response model)."""
+        return self.counters.snapshot()
+
+    def check_invariants(self) -> None:
+        """Verify protocol invariants; raises CoherenceError on violation.
+
+        Invariants:
+          * at most one agent holds a given line in M or E;
+          * if any agent holds M/E, no other agent holds the line at all;
+          * the holders index matches per-agent tag maps.
+        """
+        for line, holders in self._holders.items():
+            exclusive = [
+                h for h in holders if h.peek(line) in (LineState.MODIFIED, LineState.EXCLUSIVE)
+            ]
+            if len(exclusive) > 1:
+                raise CoherenceError(
+                    f"line {line:#x} exclusively held by multiple agents: "
+                    f"{[h.name for h in exclusive]}"
+                )
+            if exclusive and len(holders) > 1:
+                raise CoherenceError(
+                    f"line {line:#x} held M/E by {exclusive[0].name} but shared "
+                    f"by {[h.name for h in holders]}"
+                )
+            for holder in holders:
+                if not holder.holds(line):
+                    raise CoherenceError(
+                        f"holders index lists {holder.name} for line {line:#x} "
+                        "but the agent does not hold it"
+                    )
+        for agent in self._agents:
+            for line in agent.lines():
+                if agent not in self._holders.get(line, ()):
+                    raise CoherenceError(
+                        f"{agent.name} holds line {line:#x} missing from index"
+                    )
+
+    # ------------------------------------------------------------------
+    # Protocol internals
+    # ------------------------------------------------------------------
+    def _line_access(
+        self, agent: CacheAgent, line: int, write: bool, region: Region
+    ) -> float:
+        state = agent.lookup(line)
+        if state is not None:
+            return self._hit(agent, line, state, write)
+        agent.misses += 1
+        return self._miss(agent, line, write, region)
+
+    def _hit(
+        self, agent: CacheAgent, line: int, state: LineState, write: bool
+    ) -> float:
+        agent.hits += 1
+        if not write:
+            return self.cost.l2_hit
+        if state.is_writable:
+            agent.set_state(line, LineState.MODIFIED)
+            return self.cost.store_buffer
+        # Shared/Forward: upgrade requires invalidating other sharers.
+        latency = self._invalidate_others(agent, line)
+        agent.set_state(line, LineState.MODIFIED)
+        if latency == 0.0:
+            latency = self.cost.local_invalidate
+        return latency
+
+    def _miss(
+        self, agent: CacheAgent, line: int, write: bool, region: Region
+    ) -> float:
+        holders = self._holders.get(line, [])
+        local_holder: Optional[CacheAgent] = None
+        remote_holder: Optional[CacheAgent] = None
+        dirty_holder: Optional[CacheAgent] = None
+        for holder in holders:
+            if holder.socket == agent.socket:
+                local_holder = holder
+            else:
+                remote_holder = holder
+            if holder.peek(line) is LineState.MODIFIED:
+                dirty_holder = holder
+
+        if local_holder is None and remote_holder is None:
+            return self._fill_from_dram(agent, line, write, region)
+
+        # Data is sourced from the nearest cache; a dirty copy always
+        # responds (HitM), wherever it is.
+        source = dirty_holder if dirty_holder is not None else (local_holder or remote_holder)
+        crosses_link = source.socket != agent.socket
+        if crosses_link:
+            if region.home == agent.socket:
+                latency = self.cost.remote_cache_reader_homed
+                self._count(agent.socket, "spec_mem_read")
+            else:
+                latency = self.cost.remote_cache_writer_homed
+            cls = MessageClass.RFO if write else MessageClass.READ
+            self._pending_queue += self.link.occupy(
+                MessageClass.SNOOP, direction=agent.socket, actor=agent.name
+            )
+            self._pending_queue += self.link.occupy(
+                cls, direction=1 - agent.socket, actor=agent.name
+            )
+            self._count(agent.socket, "rfo" if write else "read")
+        else:
+            latency = self.cost.local_cache
+
+        if write:
+            # The RFO itself invalidates every other copy; no extra
+            # round trip is charged beyond the fetch above.
+            self._drop_others(agent, line)
+            self._install(agent, line, LineState.MODIFIED, region)
+        elif dirty_holder is not None:
+            # HitM: dirty data and ownership migrate to the requester.
+            dirty_holder.drop(line)
+            self._forget_holder(dirty_holder, line)
+            self._install(agent, line, LineState.MODIFIED, region)
+        else:
+            self._downgrade_owners(line)
+            self._install(agent, line, LineState.SHARED, region)
+        return latency
+
+    def _fill_from_dram(
+        self, agent: CacheAgent, line: int, write: bool, region: Region
+    ) -> float:
+        if region.home == agent.socket:
+            latency = self.cost.local_dram
+        else:
+            latency = self.cost.remote_dram
+            cls = MessageClass.RFO if write else MessageClass.READ
+            latency += self.link.occupy(MessageClass.SNOOP, direction=agent.socket, actor=agent.name)
+            latency += self.link.occupy(cls, direction=1 - agent.socket, actor=agent.name)
+            self._count(agent.socket, "rfo" if write else "read")
+        new_state = LineState.MODIFIED if write else LineState.EXCLUSIVE
+        self._install(agent, line, new_state, region)
+        return latency
+
+    def _downgrade_owners(self, line: int) -> None:
+        """A clean read sourced from another cache: E/F owners fall to S."""
+        for holder in self._holders.get(line, ()):
+            state = holder.peek(line)
+            if state in (LineState.EXCLUSIVE, LineState.FORWARD):
+                holder.set_state(line, LineState.SHARED)
+
+    def _drop_others(self, agent: CacheAgent, line: int) -> None:
+        """Silently drop all other copies (covered by an in-flight RFO)."""
+        holders = self._holders.get(line)
+        if not holders:
+            return
+        for holder in list(holders):
+            if holder is agent:
+                continue
+            holder.drop(line)
+            holders.remove(holder)
+
+    def _invalidate_others(self, agent: CacheAgent, line: int) -> float:
+        """Drop the line from all *other* caches; returns invalidation latency.
+
+        Local-only invalidations are cheap; any remote holder costs one
+        interconnect round trip (counted as an RFO-class transaction).
+        """
+        holders = self._holders.get(line)
+        if not holders:
+            return 0.0
+        remote = False
+        found_other = False
+        for holder in list(holders):
+            if holder is agent:
+                continue
+            found_other = True
+            holder.drop(line)
+            holders.remove(holder)
+            if holder.socket != agent.socket:
+                remote = True
+        if not found_other:
+            return 0.0
+        if remote:
+            self._pending_queue += self.link.occupy(
+                MessageClass.SNOOP, direction=agent.socket, actor=agent.name
+            )
+            self._pending_queue += self.link.occupy(
+                MessageClass.ACK, direction=1 - agent.socket, actor=agent.name
+            )
+            self._count(agent.socket, "rfo")
+            return self.cost.remote_invalidate
+        return self.cost.local_invalidate
+
+    def _install(
+        self, agent: CacheAgent, line: int, state: LineState, region: Region
+    ) -> None:
+        agent.set_state(line, state)
+        holders = self._holders.setdefault(line, [])
+        if agent not in holders:
+            holders.append(agent)
+        victim = agent.evict_victim()
+        if victim is not None:
+            vline, vstate = victim
+            self._forget_holder(agent, vline)
+            if vstate is LineState.MODIFIED:
+                vregion = self.space.try_region_of(vline * 64)
+                vhome = vregion.home if vregion is not None else agent.socket
+                if vhome != agent.socket:
+                    self.link.occupy(
+                        MessageClass.WRITEBACK,
+                        direction=agent.socket,
+                        charge_queueing=False,
+                        actor=agent.name,
+                    )
+                    self._count(agent.socket, "writeback")
+
+    def _forget_holder(self, agent: CacheAgent, line: int) -> None:
+        holders = self._holders.get(line)
+        if holders and agent in holders:
+            holders.remove(agent)
+            if not holders:
+                self._holders.pop(line, None)
+
+    # ------------------------------------------------------------------
+    # Prefetcher model (DCU IP: detects +1 line strides within a region)
+    # ------------------------------------------------------------------
+    #: Largest constant stride (in lines) the prefetcher recognizes.
+    MAX_PREFETCH_STRIDE = 4
+
+    def _maybe_prefetch(self, agent: CacheAgent, line: int, region: Region) -> None:
+        if not agent.prefetch:
+            return
+        state = agent.stream_state.get(region.base)
+        if state is None:
+            agent.stream_state[region.base] = (line, 0)
+            return
+        last, last_stride = state
+        stride = line - last
+        agent.stream_state[region.base] = (line, stride)
+        # DCU-IP style: a small positive stride arms the prefetcher for
+        # the next element of the stream (a changed stride disarms it
+        # until it repeats).
+        if not 0 < stride <= self.MAX_PREFETCH_STRIDE:
+            return
+        if last_stride not in (0, stride):
+            return
+        target = line + stride
+        if target * 64 >= region.end:
+            return
+        if agent.holds(target):
+            return
+        self._prefetch_line(agent, target, region)
+
+    def _prefetch_line(self, agent: CacheAgent, line: int, region: Region) -> None:
+        """Fetch a line into the cache off the critical path."""
+        holders = self._holders.get(line, [])
+        dirty_holder = None
+        for holder in holders:
+            if holder.peek(line) is LineState.MODIFIED:
+                dirty_holder = holder
+        remote_source = any(h.socket != agent.socket for h in holders)
+        if remote_source or (not holders and region.home != agent.socket):
+            # Request is control-only; the data line returns on the
+            # opposite direction.
+            self.link.occupy(
+                MessageClass.SNOOP,
+                direction=agent.socket,
+                charge_queueing=False,
+                actor=agent.name,
+            )
+            self.link.occupy(
+                MessageClass.PREFETCH,
+                direction=1 - agent.socket,
+                charge_queueing=False,
+                actor=agent.name,
+            )
+            self._count(agent.socket, "prefetch_remote")
+        else:
+            self._count(agent.socket, "prefetch_local")
+        if dirty_holder is not None:
+            dirty_holder.drop(line)
+            self._forget_holder(dirty_holder, line)
+            self._install(agent, line, LineState.MODIFIED, region)
+        else:
+            self._downgrade_owners(line)
+            self._install(agent, line, LineState.SHARED, region)
+
+    # ------------------------------------------------------------------
+    def _count(self, socket: int, what: str) -> None:
+        self.counters.add(f"s{socket}.{what}")
+
+    def __repr__(self) -> str:
+        return f"<CoherenceFabric agents={len(self._agents)} lines={len(self._holders)}>"

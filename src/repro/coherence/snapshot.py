@@ -1,0 +1,99 @@
+"""Cache-state inspection utilities.
+
+Answers "where does this region's data live right now" — used when
+debugging interface designs (is the descriptor ring bouncing? did the
+recycling stack keep buffers warm?) and by tests asserting cache-state
+outcomes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as StdCounter
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.coherence.fabric import CoherenceFabric
+from repro.coherence.state import LineState
+from repro.mem.region import Region
+
+
+@dataclass
+class RegionCensus:
+    """Distribution of one region's lines across caches and states."""
+
+    region: str
+    total_lines: int
+    uncached_lines: int
+    by_agent: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def cached_fraction(self) -> float:
+        if self.total_lines == 0:
+            return 0.0
+        return 1.0 - self.uncached_lines / self.total_lines
+
+    def holder_names(self) -> List[str]:
+        return sorted(self.by_agent)
+
+    def lines_held_by(self, agent_name: str) -> int:
+        return sum(self.by_agent.get(agent_name, {}).values())
+
+    def __str__(self) -> str:
+        parts = [f"{self.region}: {self.cached_fraction:.0%} cached"]
+        for agent in self.holder_names():
+            states = ", ".join(
+                f"{state}:{count}" for state, count in sorted(self.by_agent[agent].items())
+            )
+            parts.append(f"  {agent}: {states}")
+        return "\n".join(parts)
+
+
+def census(fabric: CoherenceFabric, region: Region) -> RegionCensus:
+    """Count the region's lines by (agent, state)."""
+    first = region.base // 64
+    last = (region.end - 1) // 64
+    total = last - first + 1
+    by_agent: Dict[str, StdCounter] = {}
+    cached = set()
+    for line in range(first, last + 1):
+        for holder in fabric.holders_of(line * 64):
+            state = holder.peek(line)
+            if state is None:
+                continue
+            cached.add(line)
+            by_agent.setdefault(holder.name, StdCounter())[state.value] += 1
+    return RegionCensus(
+        region=region.name,
+        total_lines=total,
+        uncached_lines=total - len(cached),
+        by_agent={name: dict(counts) for name, counts in by_agent.items()},
+    )
+
+
+def dirty_lines(fabric: CoherenceFabric, region: Region) -> int:
+    """Number of the region's lines held Modified anywhere."""
+    first = region.base // 64
+    last = (region.end - 1) // 64
+    count = 0
+    for line in range(first, last + 1):
+        for holder in fabric.holders_of(line * 64):
+            if holder.peek(line) is LineState.MODIFIED:
+                count += 1
+                break
+    return count
+
+
+def sharing_degree(fabric: CoherenceFabric, region: Region) -> float:
+    """Average number of caches holding each cached line."""
+    first = region.base // 64
+    last = (region.end - 1) // 64
+    holders_total = 0
+    cached_lines = 0
+    for line in range(first, last + 1):
+        holders = fabric.holders_of(line * 64)
+        if holders:
+            cached_lines += 1
+            holders_total += len(holders)
+    if cached_lines == 0:
+        return 0.0
+    return holders_total / cached_lines

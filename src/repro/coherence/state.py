@@ -1,0 +1,38 @@
+"""MESIF cache-line states.
+
+UPI implements MESIF: Modified, Exclusive, Shared, Invalid, plus Forward
+(one designated sharer that responds to snoops with data, avoiding a
+memory fetch). Invalid lines are simply absent from a cache's tag map,
+so ``LineState`` only has the four present states.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class LineState(enum.Enum):
+    """State of a cache line within one caching agent."""
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    FORWARD = "F"
+
+    @property
+    def is_writable(self) -> bool:
+        """M and E lines can be written without a coherence transaction."""
+        return self in (LineState.MODIFIED, LineState.EXCLUSIVE)
+
+    @property
+    def is_dirty(self) -> bool:
+        """Only M lines hold data newer than memory."""
+        return self is LineState.MODIFIED
+
+    @property
+    def can_forward(self) -> bool:
+        """M, E and F holders respond to snoops with data."""
+        return self in (LineState.MODIFIED, LineState.EXCLUSIVE, LineState.FORWARD)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

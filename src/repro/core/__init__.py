@@ -1,0 +1,24 @@
+"""CC-NIC: the paper's cache-coherence-optimized host-NIC interface.
+
+The public data-plane API mirrors the paper's Figure 5 (DPDK mempool /
+ethdev semantics)::
+
+    from repro.core import CcnicInterface, CcnicConfig
+    from repro.core.api import buf_alloc, buf_free, tx_burst, rx_burst
+
+    nic = CcnicInterface(system, CcnicConfig())
+    nic.start()
+    bufs, ns = buf_alloc(nic.pool, host_agent, count=4, sizes=[64] * 4)
+    sent, ns = tx_burst(nic, 0, bufs)
+    pkts, ns = rx_burst(nic, 0, 32)
+
+Every operation returns the nanoseconds it cost the calling core, which
+driver processes yield to the simulator.
+"""
+
+from repro.core.buffers import Buffer
+from repro.core.config import CcnicConfig, DescLayout
+from repro.core.interface import CcnicInterface
+from repro.core.pool import BufferPool
+
+__all__ = ["Buffer", "BufferPool", "CcnicConfig", "CcnicInterface", "DescLayout"]

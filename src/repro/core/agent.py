@@ -1,0 +1,223 @@
+"""The NIC-side agent: the device half of the CC-NIC interface.
+
+One agent process serves one queue pair, emulating the paper's software
+NIC (§4): it polls the TX ring for new descriptors, reads payloads over
+the coherent interconnect, loops packets back through a small wire
+delay, allocates RX buffers, writes received payloads, and produces RX
+descriptors. With shared buffer management it frees TX buffers straight
+into its recycling stack (so subsequent RX writes land in NIC-warm
+lines); without it, it forwards completions to the host and consumes
+pre-posted blank buffers, exactly like a PCIe NIC.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Tuple
+
+from repro.coherence.cache import CacheAgent
+from repro.core.buffers import Buffer
+from repro.core.ring import WorkItem
+from repro.workloads.packets import Packet
+
+#: Cycles of NIC-side packet processing per packet (header parse, DMA
+#: engine bookkeeping of the modelled ASIC).
+NIC_CYCLES_PER_PKT = 13
+
+#: Idle poll gap when an iteration finds no work, in ns.
+IDLE_GAP_NS = 12.0
+
+
+class NicQueueAgent:
+    """Device-side processing loop for one queue pair."""
+
+    def __init__(self, interface, queue_index: int) -> None:
+        self.interface = interface
+        self.queue_index = queue_index
+        self.pair = interface.pair(queue_index)
+        self.agent: CacheAgent = interface.system.new_nic_core(
+            f"nic-q{queue_index}"
+        )
+        # Loopback by default; applications may set a transmit sink to
+        # model real peers (the KV store's clients) and inject arrivals.
+        self.on_transmit = None
+        # Packets "on the wire": (arrival time, packet).
+        self._wire: Deque[Tuple[float, Packet]] = deque()
+        # Blank buffers consumed from the host's rx_post ring.
+        self._blanks: Deque[Buffer] = deque()
+        self.tx_packets = 0
+        self.rx_packets = 0
+        self.busy_ns = 0.0
+
+    # ------------------------------------------------------------------
+    def run(self):
+        """Generator body for the simulator (the NIC polling loop)."""
+        sim = self.interface.system.sim
+        config = self.interface.config
+        while True:
+            busy = False
+            ns = 0.0
+            # --- TX: consume descriptors, read payloads, transmit.
+            items, poll_ns = self.pair.tx.poll(self.agent, config.tx_batch)
+            ns += poll_ns
+            packets = self._assemble(items)
+            if packets:
+                busy = True
+                ns += self._transmit(packets, sim.now + ns)
+            # --- RX: deliver packets that have finished the wire delay.
+            arrived = self._take_arrived(sim.now + ns)
+            if arrived:
+                busy = True
+                ns += self._receive(arrived, base_ns=ns)
+            if busy:
+                self.busy_ns += ns
+            if ns:
+                yield ns
+            if not busy:
+                yield IDLE_GAP_NS
+
+    # ------------------------------------------------------------------
+    # TX path
+    # ------------------------------------------------------------------
+    def _assemble(self, items: List[WorkItem]) -> List[Tuple[Packet, Buffer]]:
+        """Group continuation descriptors with their head descriptor."""
+        from repro.core.driver import CONTINUATION
+
+        packets = []
+        for item in items:
+            if item.pkt is CONTINUATION:
+                continue  # payload handled via the head item's chain
+            packets.append((item.pkt, item.buf))
+        return packets
+
+    def _transmit(self, packets: List[Tuple[Packet, Buffer]], now: float) -> float:
+        """Read payloads, free TX buffers, place packets on the wire."""
+        config = self.interface.config
+        fabric = self.interface.system.fabric
+        ns = 0.0
+        to_free: List[Buffer] = []
+        spans = [
+            (seg.addr, seg.data_len)
+            for _pkt, buf in packets
+            for seg in buf.segments()
+            if seg.data_len
+        ]
+        ns += fabric.access_burst(self.agent, spans, write=False)
+        for pkt, buf in packets:
+            ns += self.interface.system.cycles(NIC_CYCLES_PER_PKT)
+            to_free.extend(seg for seg in buf.segments() if not seg.external)
+            if self.on_transmit is not None:
+                self.on_transmit(pkt, now + ns + config.wire_delay_ns)
+            else:
+                self._wire.append((now + ns + config.wire_delay_ns, pkt))
+            self.tx_packets += 1
+        if config.nic_buffer_mgmt:
+            ns += self.interface.pool.free(self.agent, to_free)
+        else:
+            comp_items = [WorkItem(buf=b, length=0, pkt=None) for b in to_free]
+            _, comp_ns = self.pair.tx_comp.produce(self.agent, comp_items, base_ns=ns)
+            ns += comp_ns
+        return ns
+
+    # ------------------------------------------------------------------
+    # RX path
+    # ------------------------------------------------------------------
+    def inject(self, pkt: Packet, when: float = 0.0) -> None:
+        """Deliver an externally generated packet to this queue's RX path."""
+        self._wire.append((when, pkt))
+
+    def _take_arrived(self, now: float) -> List[Packet]:
+        arrived = []
+        while self._wire and self._wire[0][0] <= now:
+            arrived.append(self._wire.popleft()[1])
+        return arrived
+
+    def _receive(self, packets: List[Packet], base_ns: float = 0.0) -> float:
+        """Write received payloads and produce RX descriptors.
+
+        Shared buffer management lets the NIC pick buffer sizes *after*
+        seeing the burst (small buffers for small packets) — impossible
+        for a PCIe NIC whose blanks were posted in advance (§3.4).
+        """
+        config = self.interface.config
+        fabric = self.interface.system.fabric
+        ns = 0.0
+        items: List[WorkItem] = []
+        spans: List[Tuple[int, int]] = []
+        for position, pkt in enumerate(packets):
+            buf, alloc_ns = self._rx_chain(pkt.size)
+            ns += alloc_ns
+            if buf is None:
+                # No blanks posted: requeue this and all later packets.
+                self._wire.extendleft(
+                    (0.0, waiting) for waiting in reversed(packets[position:])
+                )
+                break
+            for seg in buf.segments():
+                if config.caching_stores:
+                    spans.append((seg.addr, seg.data_len))
+                else:
+                    ns += fabric.nt_store(self.agent, seg.addr, seg.data_len)
+            ns += self.interface.system.cycles(NIC_CYCLES_PER_PKT)
+            items.append(WorkItem(buf=buf, length=pkt.size, pkt=pkt))
+        if spans:
+            ns += fabric.access_burst(self.agent, spans, write=True)
+        if items:
+            accepted, produce_ns = self.pair.rx.produce(
+                self.agent, items, base_ns=base_ns + ns
+            )
+            ns += produce_ns
+            # Ring backpressure: requeue anything not accepted.
+            for item in items[accepted:]:
+                self._wire.appendleft((0.0, item.pkt))
+                self.interface.pool.free(self.agent, [item.buf])
+            self.rx_packets += accepted
+        return ns
+
+    def _rx_chain(self, size: int):
+        """Buffers for one received packet; jumbo frames chain segments."""
+        config = self.interface.config
+        if size <= config.buf_size:
+            buf, ns = self._rx_buffer(size)
+            if buf is not None:
+                buf.set_payload(size)
+            return buf, ns
+        head = None
+        prev = None
+        ns = 0.0
+        remaining = size
+        acquired = []
+        while remaining > 0:
+            seg, seg_ns = self._rx_buffer(min(remaining, config.buf_size))
+            ns += seg_ns
+            if seg is None:
+                # Cannot finish the chain: return what we took.
+                ns += self.interface.pool.free(self.agent, acquired) if acquired else 0.0
+                return None, ns
+            seg.seg_next = None
+            seg.set_payload(min(remaining, config.buf_size))
+            acquired.append(seg)
+            if head is None:
+                head = seg
+            else:
+                prev.seg_next = seg
+            prev = seg
+            remaining -= seg.data_len
+        return head, ns
+
+    def _rx_buffer(self, size: int):
+        """Allocate (shared mgmt) or dequeue a posted blank (host mgmt)."""
+        config = self.interface.config
+        if config.nic_buffer_mgmt:
+            bufs, ns = self.interface.pool.alloc(self.agent, [size])
+            return (bufs[0] if bufs else None), ns
+        ns = 0.0
+        if not self._blanks:
+            blanks, poll_ns = self.pair.rx_post.poll(self.agent, config.rx_batch)
+            ns += poll_ns
+            for item in blanks:
+                self._blanks.append(item.buf)
+            self.pair.rx_posted -= len(blanks)
+        if not self._blanks:
+            return None, ns
+        return self._blanks.popleft(), ns

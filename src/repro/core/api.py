@@ -1,0 +1,57 @@
+"""Functional data-plane API mirroring the paper's Figure 5.
+
+The C interface::
+
+    int  ccnic_buf_alloc(struct ccnic_pool *pool, struct ccnic_buf **bufs, unsigned count);
+    void ccnic_buf_free(struct ccnic_pool *pool, struct ccnic_buf **bufs, unsigned count);
+    int  ccnic_tx_burst(int txq_index, struct ccnic_buf **bufs, unsigned count);
+    int  ccnic_rx_burst(int rxq_index, struct ccnic_buf **bufs, unsigned count);
+
+maps to these functions. Because this is a simulation, each call also
+returns the nanoseconds of host-core time it cost; simulation processes
+yield that value. Semantics match DPDK mempool/ethdev burst APIs:
+partial success returns a count, never raises.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.coherence.cache import CacheAgent
+from repro.core.buffers import Buffer
+from repro.core.driver import CcnicDriver
+from repro.core.pool import BufferPool
+from repro.workloads.packets import Packet
+
+
+def buf_alloc(
+    pool: BufferPool,
+    agent: CacheAgent,
+    count: int,
+    sizes: Sequence[int],
+) -> Tuple[List[Buffer], float]:
+    """Allocate up to ``count`` buffers sized for the given payloads."""
+    if len(sizes) != count:
+        raise ValueError(f"expected {count} sizes, got {len(sizes)}")
+    return pool.alloc(agent, sizes)
+
+
+def buf_free(pool: BufferPool, agent: CacheAgent, bufs: Sequence[Buffer]) -> float:
+    """Return buffers to the pool."""
+    return pool.free(agent, bufs)
+
+
+def tx_burst(
+    driver: CcnicDriver,
+    entries: Sequence[Tuple[Buffer, Packet]],
+) -> Tuple[int, float]:
+    """Submit a burst of (buffer, packet) pairs on the driver's TX queue."""
+    return driver.tx_burst(entries)
+
+
+def rx_burst(
+    driver: CcnicDriver,
+    count: int,
+) -> Tuple[List[Tuple[Packet, Buffer]], float]:
+    """Receive up to ``count`` packets from the driver's RX queue."""
+    return driver.rx_burst(count)

@@ -1,0 +1,75 @@
+"""Packet buffer handles.
+
+A :class:`Buffer` is a handle to a chunk of pool memory. Buffers never
+hold payload bytes — only addresses and capacities; payload *accesses*
+are what the coherence model charges for.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import PoolError
+
+_buffer_ids = itertools.count()
+
+
+@dataclass
+class Buffer:
+    """A packet buffer carved out of the shared pool.
+
+    Attributes:
+        addr: Byte address of the payload start (cache-line aligned for
+            full buffers; small buffers are 128B-aligned).
+        capacity: Usable payload bytes.
+        small: True for subdivided 128B small buffers.
+        data_len: Length of the payload currently written (set on TX
+            submit and on RX delivery).
+        seg_next: Optional chained segment for multi-segment TX
+            (the KV store's zero-copy gets use header + payload chains).
+        external: True for segments that reference application memory
+            (DPDK extbuf-style zero-copy); they are not pool-managed and
+            are never freed to the pool.
+    """
+
+    addr: int
+    capacity: int
+    small: bool = False
+    data_len: int = 0
+    external: bool = False
+    buf_id: int = field(default_factory=lambda: next(_buffer_ids))
+    seg_next: Optional["Buffer"] = None
+    _allocated: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise PoolError(f"buffer capacity must be positive, got {self.capacity}")
+        if self.addr < 0:
+            raise PoolError(f"buffer address must be non-negative, got {self.addr}")
+
+    def set_payload(self, length: int) -> None:
+        """Record the written payload length (must fit the buffer)."""
+        if length <= 0 or length > self.capacity:
+            raise PoolError(
+                f"payload of {length}B does not fit buffer of {self.capacity}B"
+            )
+        self.data_len = length
+
+    def chain(self, other: "Buffer") -> "Buffer":
+        """Append a segment for multi-segment TX; returns self."""
+        self.seg_next = other
+        return self
+
+    def segments(self):
+        """Iterate this buffer and any chained segments."""
+        node: Optional[Buffer] = self
+        while node is not None:
+            yield node
+            node = node.seg_next
+
+    @property
+    def total_len(self) -> int:
+        """Payload length across all chained segments."""
+        return sum(seg.data_len for seg in self.segments())

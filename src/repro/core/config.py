@@ -1,0 +1,83 @@
+"""CC-NIC configuration: the paper's design decisions as feature flags.
+
+Each flag corresponds to a design feature evaluated in §5.4/§5.5; the
+defaults are the fully-optimized CC-NIC. The ablation benchmarks flip
+them one at a time:
+
+* ``inline_signals`` — Fig 14a: ready flag inside the descriptor versus
+  separate head/tail doorbell registers.
+* ``desc_layout`` — Fig 14b: OPT (4x16B descriptors + one signal per
+  cache line, blank-skip rule), PACK (16B descriptors packed with
+  per-descriptor signals: thrash), PAD (one descriptor per line).
+* ``buf_recycling`` — §3.3: reuse most-recently-freed TX buffers as RX
+  buffers and vice versa via host-/NIC-local stacks.
+* ``small_buffers`` — §3.3: subdivide 4KB MTU buffers into 32x128B
+  buffers for small packets.
+* ``nic_buffer_mgmt`` — §3.4: the NIC allocates RX buffers and frees TX
+  buffers itself through the shared pool.
+* ``nonseq_alloc`` — §3.3: fill the pool so repeated allocations do not
+  return sequential addresses (defeats harmful remote prefetch).
+* ``writer_homed_rings`` — §3.2: TX ring homed on the host socket, RX
+  ring on the NIC socket.
+* ``caching_stores`` — §3.3: write payloads with normal cacheable
+  stores (cache-to-cache transfers) instead of non-temporal stores.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+class DescLayout(enum.Enum):
+    """Descriptor ring memory layouts evaluated in Fig 14b."""
+
+    OPT = "opt"    # 4 descriptors + 1 signal per cache line (CC-NIC)
+    PACK = "pack"  # 4 packed descriptors, per-descriptor signals (E810-like)
+    PAD = "pad"    # 1 descriptor padded to a full cache line
+
+    @property
+    def descs_per_line(self) -> int:
+        return 1 if self is DescLayout.PAD else 4
+
+
+@dataclass(frozen=True)
+class CcnicConfig:
+    """Feature flags and sizing for a CC-NIC interface instance."""
+
+    inline_signals: bool = True
+    desc_layout: DescLayout = DescLayout.OPT
+    buf_recycling: bool = True
+    small_buffers: bool = True
+    nic_buffer_mgmt: bool = True
+    nonseq_alloc: bool = True
+    writer_homed_rings: bool = True
+    caching_stores: bool = True
+
+    ring_slots: int = 512
+    pool_buffers: int = 2048
+    buf_size: int = 4096
+    small_buf_size: int = 128
+    small_threshold: int = 128    # packets at or below this use small buffers
+    tx_batch: int = 32
+    rx_batch: int = 32
+    wire_delay_ns: float = 20.0   # NIC-internal loopback turnaround
+    recycle_stack_max: int = 256  # per-side recycling stack depth
+
+    def __post_init__(self) -> None:
+        if self.ring_slots < 4 or self.ring_slots % 4:
+            raise ConfigError("ring_slots must be a positive multiple of 4")
+        if self.pool_buffers <= 0:
+            raise ConfigError("pool_buffers must be positive")
+        if self.buf_size < 64 or self.buf_size % 64:
+            raise ConfigError("buf_size must be a positive multiple of 64")
+        if self.small_buf_size <= 0 or self.buf_size % self.small_buf_size:
+            raise ConfigError("small_buf_size must divide buf_size")
+        if self.tx_batch <= 0 or self.rx_batch <= 0:
+            raise ConfigError("batch sizes must be positive")
+        if self.wire_delay_ns < 0:
+            raise ConfigError("wire_delay_ns must be non-negative")
+        if self.small_threshold > self.small_buf_size:
+            raise ConfigError("small_threshold cannot exceed small_buf_size")

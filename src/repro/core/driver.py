@@ -1,0 +1,177 @@
+"""Host-side CC-NIC driver.
+
+One :class:`CcnicDriver` serves one application thread with a private
+TX/RX queue pair (the paper's per-thread queue configuration). All
+methods return the nanoseconds of host-core time they cost; application
+processes yield those to the simulator.
+
+With ``nic_buffer_mgmt`` disabled (Fig 15's final ablation step), the
+driver also performs PCIe-style bookkeeping: it posts blank RX buffers
+to the NIC through an extra ring and reaps TX completions to free
+buffers — the "extra bookkeeping passes over the queues" of §3.4.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.coherence.cache import CacheAgent
+from repro.core.buffers import Buffer
+from repro.core.ring import WorkItem
+from repro.errors import NicError
+from repro.workloads.packets import Packet
+
+#: Marker on continuation descriptors of multi-segment TX packets.
+CONTINUATION = "cont"
+
+
+class CcnicDriver:
+    """Host-side API for one queue pair of a :class:`CcnicInterface`."""
+
+    def __init__(self, interface, queue_index: int, host_agent: CacheAgent) -> None:
+        self.interface = interface
+        self.queue_index = queue_index
+        self.agent = host_agent
+        self.pair = interface.pair(queue_index)
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Buffers and payloads
+    # ------------------------------------------------------------------
+    def alloc(self, sizes: Sequence[int]) -> Tuple[List[Buffer], float]:
+        """Allocate one buffer per payload size."""
+        return self.interface.pool.alloc(self.agent, sizes)
+
+    def free(self, bufs: Sequence[Buffer]) -> float:
+        """Return buffers to the pool."""
+        return self.interface.pool.free(self.agent, bufs)
+
+    def write_payload(self, buf: Buffer, size: int) -> float:
+        """Write ``size`` payload bytes into ``buf`` (full payload access).
+
+        Uses cacheable stores by default (cache-to-cache transfer path);
+        with ``caching_stores`` disabled, uses non-temporal stores that
+        bypass the cache (the Fig 9 comparison case).
+        """
+        buf.set_payload(size)
+        fabric = self.interface.system.fabric
+        if self.interface.config.caching_stores:
+            return fabric.write(self.agent, buf.addr, size)
+        return fabric.nt_store(self.agent, buf.addr, size)
+
+    def read_payload(self, buf: Buffer) -> float:
+        """Read a received buffer's full payload."""
+        return self.read_payloads([buf])
+
+    def read_payloads(self, bufs: Sequence[Buffer]) -> float:
+        """Read a burst of received payloads.
+
+        The reads are independent, so they overlap in the core's fill
+        buffers (charged via the fabric's burst-access model).
+        """
+        fabric = self.interface.system.fabric
+        spans = [
+            (seg.addr, seg.data_len)
+            for buf in bufs
+            for seg in buf.segments()
+            if seg.data_len
+        ]
+        if not spans:
+            return 0.0
+        return fabric.access_burst(self.agent, spans, write=False)
+
+    def write_payloads(self, sized: Sequence[Tuple[Buffer, int]]) -> float:
+        """Write a burst of TX payloads (overlapped independent stores)."""
+        fabric = self.interface.system.fabric
+        spans = []
+        for buf, size in sized:
+            buf.set_payload(size)
+            spans.append((buf.addr, size))
+        if not spans:
+            return 0.0
+        if self.interface.config.caching_stores:
+            return fabric.access_burst(self.agent, spans, write=True)
+        return sum(fabric.nt_store(self.agent, addr, size) for addr, size in spans)
+
+    # ------------------------------------------------------------------
+    # TX / RX
+    # ------------------------------------------------------------------
+    def tx_burst(
+        self,
+        entries: Sequence[Tuple[Buffer, Packet]],
+        base_ns: float = 0.0,
+    ) -> Tuple[int, float]:
+        """Submit packets for transmission.
+
+        Args:
+            entries: (buffer, packet) pairs; each buffer's ``data_len``
+                must be set (via :meth:`write_payload`). Multi-segment
+                buffers occupy one extra descriptor slot per extra
+                segment, as the paper notes for zero-copy KV gets.
+            base_ns: Time already accumulated by the caller this step;
+                descriptor visibility is delayed by it.
+
+        Returns:
+            (packets accepted, ns). Packets beyond ring capacity are not
+            submitted; their descriptors are untouched.
+        """
+        items: List[WorkItem] = []
+        bounds: List[int] = []  # item count after each whole packet
+        for buf, pkt in entries:
+            if buf.data_len <= 0:
+                raise NicError(f"buffer {buf.buf_id} submitted without payload")
+            self._seq += 1
+            items.append(WorkItem(buf=buf, length=buf.total_len, pkt=pkt, seq=self._seq))
+            segments = sum(1 for _ in buf.segments())
+            for _ in range(segments - 1):
+                items.append(WorkItem(buf=buf, length=0, pkt=CONTINUATION, seq=self._seq))
+            bounds.append(len(items))
+        accepted_items, ns = self.pair.tx.produce(
+            self.agent, items, base_ns=base_ns, bounds=bounds
+        )
+        accepted_packets = 0
+        for bound in bounds:
+            if bound <= accepted_items:
+                accepted_packets += 1
+        return accepted_packets, ns
+
+    def rx_burst(self, max_packets: int) -> Tuple[List[Tuple[Packet, Buffer]], float]:
+        """Poll the RX ring; returns ((packet, buffer) pairs, ns)."""
+        items, ns = self.pair.rx.poll(self.agent, max_packets)
+        out = [(item.pkt, item.buf) for item in items if item.pkt is not CONTINUATION]
+        return out, ns
+
+    # ------------------------------------------------------------------
+    # PCIe-style bookkeeping (only when shared management is disabled)
+    # ------------------------------------------------------------------
+    def housekeeping(self, post_target: int = 64) -> float:
+        """Reap TX completions and post blank RX buffers.
+
+        A no-op under CC-NIC's shared buffer management; the traffic
+        generator calls it each loop iteration so ablations change cost,
+        not control flow.
+        """
+        if self.interface.config.nic_buffer_mgmt:
+            return 0.0
+        ns = 0.0
+        # Reap TX completions: the NIC cannot free, so it passes used
+        # buffers back and the host returns them to the pool.
+        done, poll_ns = self.pair.tx_comp.poll(self.agent, post_target)
+        ns += poll_ns
+        if done:
+            ns += self.free([item.buf for item in done])
+        # Post blank RX buffers up to the target.
+        deficit = post_target - self.pair.rx_posted
+        if deficit > 0:
+            blanks, alloc_ns = self.alloc([self.interface.config.buf_size] * deficit)
+            ns += alloc_ns
+            if blanks:
+                items = [WorkItem(buf=b, length=0, pkt=None) for b in blanks]
+                accepted, produce_ns = self.pair.rx_post.produce(
+                    self.agent, items, base_ns=ns
+                )
+                ns += produce_ns
+                self.pair.rx_posted += accepted
+                if accepted < len(blanks):
+                    ns += self.free(blanks[accepted:])
+        return ns

@@ -1,0 +1,213 @@
+"""The shared packet-buffer pool with CC-NIC's allocation optimizations.
+
+The pool owns one host-homed region of MTU-sized (4KB) buffers. Three of
+the paper's design features live here:
+
+* **Shared management** (§3.4): both host and NIC agents allocate and
+  free directly; the pool's index lines are coherent shared memory, so
+  every spill to the shared structure costs modelled accesses (and
+  produces the contention the paper measures when sharing is disabled).
+* **Recycling stacks** (§3.3): per-side LIFO stacks of recently freed
+  buffers. A buffer freed by the NIC after TX was just read by the NIC
+  (HitM pulled it into the NIC cache), so reusing it for an RX write
+  hits cache instead of invalidating a remote copy. Symmetrically for
+  the host with RX buffers reused for TX.
+* **Small-buffer subdivision** (§3.3): 4KB buffers split into 32x128B
+  buffers for small packets, shrinking the interface's cache footprint.
+* **Non-sequential fill** (§3.3): the initial free list is shuffled so
+  consecutive allocations do not touch adjacent lines, defeating the
+  remote prefetcher's contention with producer writes.
+
+Disabling a feature reverts to PCIe-like behaviour: FIFO reuse through
+the shared structure (maximally cache-cold), one 4KB buffer per packet,
+host-only management.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence
+
+from repro.coherence.cache import CacheAgent
+from repro.core.buffers import Buffer
+from repro.core.config import CcnicConfig
+from repro.errors import PoolError
+from repro.platform.system import System
+from repro.sim.rng import make_rng
+from repro.sim.stats import Counter
+
+
+class BufferPool:
+    """Shared pool of packet buffers over a simulated memory region."""
+
+    #: Cycles of core work per buffer handled in an alloc/free batch.
+    CYCLES_PER_BUF = 8
+    #: Cycles for the local recycling-stack fast path, per buffer.
+    CYCLES_STACK = 4
+
+    def __init__(self, system: System, config: CcnicConfig, seed: int = 0) -> None:
+        self.system = system
+        self.config = config
+        self.region = system.alloc_host(
+            "pool", config.pool_buffers * config.buf_size
+        )
+        # Shared metadata: a free-list ring of 8B buffer pointers plus a
+        # head/tail index line. Touched only on the shared (slow) path.
+        self.meta = system.alloc_host("pool_meta", 64 + config.pool_buffers * 8)
+        self._index_addr = self.meta.base
+        self._entries_base = self.meta.base + 64
+        self._head = 0  # shared-ring cursor for cost modelling
+
+        buffers = [
+            Buffer(addr=self.region.base + i * config.buf_size, capacity=config.buf_size)
+            for i in range(config.pool_buffers)
+        ]
+        if config.nonseq_alloc:
+            make_rng(seed, "pool-fill").shuffle(buffers)
+        self._shared: Deque[Buffer] = deque(buffers)
+        self._shared_small: Deque[Buffer] = deque()
+        # Per-side recycling stacks, keyed by agent name.
+        self._stacks: Dict[str, List[Buffer]] = {}
+        self._small_stacks: Dict[str, List[Buffer]] = {}
+        self.stats = Counter()
+
+    # ------------------------------------------------------------------
+    # Public API (Fig 5 semantics: costs returned, never raised mid-op)
+    # ------------------------------------------------------------------
+    def alloc(
+        self,
+        agent: CacheAgent,
+        sizes: Sequence[int],
+    ) -> tuple:
+        """Allocate one buffer per requested payload size.
+
+        Small sizes get 128B subdivided buffers when the feature is on.
+        Returns ``(buffers, ns)``; fewer buffers than requested indicates
+        pool exhaustion (mirroring DPDK's partial alloc semantics).
+        """
+        config = self.config
+        out: List[Buffer] = []
+        ns = 0.0
+        for size in sizes:
+            if size <= 0:
+                raise PoolError(f"cannot allocate for payload of {size}B")
+            want_small = config.small_buffers and size <= config.small_threshold
+            buf, cost = self._alloc_one(agent, want_small)
+            ns += cost
+            if buf is None:
+                break
+            buf._allocated = True
+            buf.data_len = 0
+            buf.seg_next = None
+            out.append(buf)
+        self.stats.add("alloc_ops")
+        self.stats.add("alloc_bufs", len(out))
+        return out, ns
+
+    def free(self, agent: CacheAgent, bufs: Sequence[Buffer]) -> float:
+        """Return buffers to the pool; returns the ns cost."""
+        ns = 0.0
+        for buf in bufs:
+            if not buf._allocated:
+                raise PoolError(f"double free of buffer {buf.buf_id}")
+            buf._allocated = False
+            buf.seg_next = None
+            ns += self._free_one(agent, buf)
+        self.stats.add("free_ops")
+        self.stats.add("free_bufs", len(bufs))
+        return ns
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _stack_for(self, agent: CacheAgent, small: bool) -> List[Buffer]:
+        table = self._small_stacks if small else self._stacks
+        return table.setdefault(agent.name, [])
+
+    def _alloc_one(self, agent: CacheAgent, want_small: bool) -> tuple:
+        config = self.config
+        cycles = self.system.cycles(self.CYCLES_PER_BUF)
+        if config.buf_recycling:
+            stack = self._stack_for(agent, want_small)
+            if stack:
+                self.stats.add("stack_alloc")
+                return stack.pop(), self.system.cycles(self.CYCLES_STACK)
+        if want_small:
+            if self._shared_small:
+                return self._shared_small.popleft(), cycles + self._shared_access(
+                    agent, 1, write=False
+                )
+            parent, cost = self._alloc_one(agent, want_small=False)
+            if parent is None:
+                return None, cost
+            smalls = self._subdivide(parent)
+            keep = smalls.pop()
+            if config.buf_recycling:
+                self._stack_for(agent, small=True).extend(smalls)
+            else:
+                self._shared_small.extend(smalls)
+            self.stats.add("subdivisions")
+            return keep, cost + self.system.cycles(self.CYCLES_PER_BUF)
+        if not self._shared:
+            self.stats.add("exhausted")
+            return None, cycles
+        self.stats.add("shared_alloc")
+        buf = self._shared.popleft()
+        return buf, cycles + self._shared_access(agent, 1, write=False)
+
+    def _free_one(self, agent: CacheAgent, buf: Buffer) -> float:
+        config = self.config
+        if config.buf_recycling:
+            stack = self._stack_for(agent, buf.small)
+            if len(stack) < config.recycle_stack_max:
+                stack.append(buf)
+                self.stats.add("stack_free")
+                return self.system.cycles(self.CYCLES_STACK)
+        target = self._shared_small if buf.small else self._shared
+        target.append(buf)
+        self.stats.add("shared_free")
+        return self.system.cycles(self.CYCLES_PER_BUF) + self._shared_access(
+            agent, 1, write=True
+        )
+
+    def _subdivide(self, parent: Buffer) -> List[Buffer]:
+        """Split a 4KB buffer into 128B small buffers."""
+        config = self.config
+        count = config.buf_size // config.small_buf_size
+        return [
+            Buffer(
+                addr=parent.addr + i * config.small_buf_size,
+                capacity=config.small_buf_size,
+                small=True,
+            )
+            for i in range(count)
+        ]
+
+    def _shared_access(self, agent: CacheAgent, count: int, write: bool) -> float:
+        """Model touching the shared free-list: index line + entries."""
+        fabric = self.system.fabric
+        ns = fabric.write(agent, self._index_addr, 8)  # atomic cursor update
+        entries = self._entries_base + (self._head % self.config.pool_buffers) * 8
+        span = min(count * 8, self.config.pool_buffers * 8 - (self._head % self.config.pool_buffers) * 8)
+        ns += fabric.access(agent, entries, max(8, span), write=write)
+        self._head += count
+        return ns
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stack_depth(self, agent: CacheAgent, small: bool = False) -> int:
+        """Current recycling-stack depth for an agent."""
+        table = self._small_stacks if small else self._stacks
+        return len(table.get(agent.name, ()))
+
+    @property
+    def free_full_buffers(self) -> int:
+        """Full-size buffers available on the shared list."""
+        return len(self._shared)
+
+    def __repr__(self) -> str:
+        return (
+            f"<BufferPool {self.config.pool_buffers}x{self.config.buf_size}B "
+            f"shared={len(self._shared)} smalls={len(self._shared_small)}>"
+        )

@@ -1,0 +1,334 @@
+"""Descriptor rings over coherent memory.
+
+A :class:`CoherentQueue` is one producer-consumer descriptor ring plus
+its signaling mechanism. It is used four ways:
+
+* CC-NIC TX (host produces, NIC consumes; host-homed ring),
+* CC-NIC RX (NIC produces, host consumes; NIC-homed ring),
+* the unoptimized-UPI baseline's TX/RX rings (E810 layout: packed 16B
+  descriptors, separate head/tail register lines, host-homed).
+
+All timing comes from coherence-fabric accesses issued on behalf of the
+calling agent; the ring itself stores only logical contents. The layouts
+and signaling modes reproduce the paper's Fig 14:
+
+* **OPT** (inline signals): groups of up to four 16B descriptors share a
+  cache line with one inlined signal. Partial groups are zero-padded and
+  the consumer skips the blanks (the paper's blank-skip rule), so every
+  line is written exactly once by the producer, read once and cleared
+  once by the consumer.
+* **PACK** (inline signals): 16B descriptors individually signalled;
+  producer and consumer interleave on the same line and it thrashes.
+* **PAD** (inline signals): one descriptor per line; no thrash, but 4x
+  the metadata footprint and no per-line batching amortization.
+* **Register signaling** (any layout): descriptors carry no signal; the
+  producer publishes a tail register line, the consumer polls it and
+  publishes a head register after consuming. Two extra shared lines,
+  each bouncing between the sockets (Fig 6a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.coherence.cache import CacheAgent
+from repro.core.config import DescLayout
+from repro.errors import NicError
+from repro.platform.system import System
+
+#: Sentinel marking zero-padded slots under the blank-skip rule.
+_SKIPPED = object()
+
+#: Descriptor size in bytes (8B address + 8B packed metadata, §2.1).
+DESC_BYTES = 16
+
+#: Descriptors per cache line for the grouped layout.
+GROUP = 4
+
+
+@dataclass
+class WorkItem:
+    """One descriptor's logical content.
+
+    ``visible_at`` is stamped by the producer: the virtual time at which
+    the descriptor's store has actually retired (the producer yields its
+    accumulated cost *after* calling produce, so consumers must not see
+    the item earlier).
+    """
+
+    buf: Any          # Buffer (or head of a segment chain for multi-seg TX)
+    length: int       # payload bytes
+    pkt: Any          # opaque packet handle carried through the queue
+    seq: int = 0
+    visible_at: float = 0.0
+
+
+class _BurstMeter:
+    """Overlap accounting for independent line operations in one call.
+
+    The first operation pays full latency; subsequent independent line
+    operations issued back-to-back by the same core overlap in its fill
+    buffers and pay ``cost / mlp`` (mirroring
+    :meth:`~repro.coherence.fabric.CoherenceFabric.access_burst`).
+    """
+
+    def __init__(self, mlp: float) -> None:
+        self.mlp = mlp
+        self.first = True
+
+    def charge(self, cost: float) -> float:
+        if self.first:
+            self.first = False
+            return cost
+        return cost / self.mlp
+
+
+class CoherentQueue:
+    """One descriptor ring between a producer and a consumer agent."""
+
+    #: Cycles of core work to build or parse one descriptor.
+    CYCLES_PER_DESC = 12
+
+    def __init__(
+        self,
+        system: System,
+        name: str,
+        layout: DescLayout,
+        inline_signals: bool,
+        slots: int,
+        home_socket: int,
+        reg_home_socket: Optional[int] = None,
+    ) -> None:
+        if slots < GROUP or slots % GROUP:
+            raise NicError(f"queue {name!r}: slots must be a multiple of {GROUP}")
+        self.system = system
+        self.name = name
+        self.layout = layout
+        self.inline_signals = inline_signals
+        self.n_slots = slots
+        bytes_per_slot = 64 if layout is DescLayout.PAD else DESC_BYTES
+        self.region = system.alloc_on(f"{name}_ring", slots * bytes_per_slot, home_socket)
+        self._bytes_per_slot = bytes_per_slot
+        reg_home = home_socket if reg_home_socket is None else reg_home_socket
+        if inline_signals:
+            self.tail_reg = None
+            self.head_reg = None
+        else:
+            self.tail_reg = system.alloc_on(f"{name}_tailreg", 64, reg_home)
+            self.head_reg = system.alloc_on(f"{name}_headreg", 64, reg_home)
+        self._slots: List[Optional[Any]] = [None] * slots
+        self.tail = 0           # producer position (monotonic slot count)
+        self.head = 0           # consumer position (monotonic slot count)
+        self.tail_value = 0     # register-mode published tail
+        self.head_value = 0     # register-mode published head
+        self._producer_head_cache = 0  # producer's last-read head register
+        self._tail_visible_at = 0.0    # when the published tail retires
+        self.produced = 0
+        self.consumed = 0
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+    def slot_addr(self, index: int) -> int:
+        """Byte address of slot ``index`` (indices are monotonic)."""
+        return self.region.base + (index % self.n_slots) * self._bytes_per_slot
+
+    def line_addr(self, index: int) -> int:
+        """Cache-line base address containing slot ``index``."""
+        addr = self.slot_addr(index)
+        return addr - (addr % 64)
+
+    def space(self) -> int:
+        """Free slots from the producer's perspective."""
+        if self.inline_signals:
+            return self.n_slots - (self.tail - self.head)
+        return self.n_slots - (self.tail - self._producer_head_cache)
+
+    @property
+    def grouped(self) -> bool:
+        """True when the OPT grouped-line protocol applies."""
+        return self.inline_signals and self.layout is DescLayout.OPT
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def produce(
+        self,
+        agent: CacheAgent,
+        items: List[WorkItem],
+        base_ns: float = 0.0,
+        bounds: Optional[List[int]] = None,
+    ) -> Tuple[int, float]:
+        """Write descriptors for ``items``; returns (accepted, ns).
+
+        ``base_ns`` is time the producer has already accumulated in the
+        current simulation step before calling produce; item visibility
+        is stamped relative to it so earlier work (payload writes,
+        allocation) delays when consumers can observe the descriptors.
+
+        ``bounds`` marks atomic packet boundaries (item counts after
+        each whole packet): a multi-segment packet's descriptors are
+        either all accepted or none, never split across a full ring.
+        """
+        fabric = self.system.fabric
+        ns = 0.0
+        accepted = 0
+        if not self.inline_signals and self.space() < len(items):
+            # E810-style drivers refresh their cached head copy when the
+            # ring looks full.
+            ns += fabric.read(agent, self.head_reg.base, 8)
+            self._producer_head_cache = self.head_value
+        if bounds:
+            limit = 0
+            for bound in bounds:
+                if bound <= self.space():
+                    limit = bound
+            items = items[:limit]
+        remaining = list(items)
+        meter = _BurstMeter(fabric.mlp)
+        if self.grouped:
+            # Invariant: tail is always group-aligned; each produce call
+            # writes whole lines, zero-padding partial groups.
+            while remaining and self.space() >= GROUP:
+                group = remaining[:GROUP]
+                del remaining[: len(group)]
+                base = self.tail
+                for offset in range(GROUP):
+                    value = group[offset] if offset < len(group) else _SKIPPED
+                    self._slots[(base + offset) % self.n_slots] = value
+                self.tail = base + GROUP
+                ns += meter.charge(fabric.write(agent, self.line_addr(base), 64))
+                ns += self.system.cycles(self.CYCLES_PER_DESC * len(group))
+                for item in group:
+                    item.visible_at = self.system.sim.now + base_ns + ns
+                accepted += len(group)
+        else:
+            while remaining and self.space() > 0:
+                item = remaining.pop(0)
+                self._slots[self.tail % self.n_slots] = item
+                ns += meter.charge(
+                    fabric.write(agent, self.slot_addr(self.tail), self._bytes_per_slot)
+                )
+                ns += self.system.cycles(self.CYCLES_PER_DESC)
+                item.visible_at = self.system.sim.now + base_ns + ns
+                self.tail += 1
+                accepted += 1
+        if accepted and not self.inline_signals:
+            self.tail_value = self.tail
+            ns += fabric.write(agent, self.tail_reg.base, 8)
+            self._tail_visible_at = self.system.sim.now + base_ns + ns
+        self.produced += accepted
+        return accepted, ns
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def poll(self, agent: CacheAgent, max_items: int) -> Tuple[List[WorkItem], float]:
+        """Consume up to ``max_items`` descriptors; returns (items, ns).
+
+        An empty poll still pays for reading the signal (the next ring
+        line for inlined signals, the tail register otherwise); repeated
+        empty polls hit the consumer's own cache until the producer's
+        next write invalidates the copy — the coherence protocol *is*
+        the signal (§3.2). Grouped polls consume whole lines, so up to
+        three extra descriptors beyond ``max_items`` may be returned;
+        callers treat the group as the batching granule, as the paper
+        does.
+        """
+        if max_items <= 0:
+            raise NicError("max_items must be positive")
+        if not self.inline_signals:
+            items, ns = self._poll_register(agent, max_items)
+        elif self.grouped:
+            items, ns = self._poll_grouped(agent, max_items)
+        else:
+            items, ns = self._poll_per_descriptor(agent, max_items)
+        self.consumed += len(items)
+        return items, ns
+
+    def _poll_register(self, agent: CacheAgent, max_items: int) -> Tuple[List[WorkItem], float]:
+        fabric = self.system.fabric
+        sim = self.system.sim
+        ns = fabric.read(agent, self.tail_reg.base, 8)
+        out: List[WorkItem] = []
+        if sim.now < self._tail_visible_at:
+            return out, ns  # the producer's tail store has not retired
+        available = self.tail_value - self.head
+        if available <= 0:
+            return out, ns
+        take = min(available, max_items)
+        meter = _BurstMeter(fabric.mlp)
+        while len(out) < take:
+            index = self.head % self.n_slots
+            item = self._slots[index]
+            if item is None:
+                raise NicError(f"queue {self.name!r}: hole under the tail register")
+            ns += meter.charge(
+                fabric.read(agent, self.slot_addr(self.head), self._bytes_per_slot)
+            )
+            ns += self.system.cycles(self.CYCLES_PER_DESC)
+            self._slots[index] = None
+            out.append(item)
+            self.head += 1
+        self.head_value = self.head
+        ns += fabric.write(agent, self.head_reg.base, 8)
+        return out, ns
+
+    def _poll_grouped(self, agent: CacheAgent, max_items: int) -> Tuple[List[WorkItem], float]:
+        fabric = self.system.fabric
+        ns = 0.0
+        out: List[WorkItem] = []
+        meter = _BurstMeter(fabric.mlp)
+        sim = self.system.sim
+        while len(out) < max_items:
+            base = self.head  # group-aligned by construction
+            ns += meter.charge(fabric.read(agent, self.line_addr(base), 64))
+            first_slot = self._slots[base % self.n_slots]
+            if first_slot is None:
+                break  # unproduced line: this read was the (cheap) signal poll
+            if isinstance(first_slot, WorkItem) and first_slot.visible_at > sim.now:
+                break  # written, but the store has not retired yet
+            for offset in range(GROUP):
+                index = (base + offset) % self.n_slots
+                entry = self._slots[index]
+                self._slots[index] = None
+                if entry is not _SKIPPED and entry is not None:
+                    out.append(entry)
+                    ns += self.system.cycles(self.CYCLES_PER_DESC)
+            # Clearing the line is the completion signal back to the
+            # producer (Fig 6b): one write frees the group for reuse.
+            ns += meter.charge(fabric.write(agent, self.line_addr(base), 64))
+            self.head = base + GROUP
+        return out, ns
+
+    def _poll_per_descriptor(self, agent: CacheAgent, max_items: int) -> Tuple[List[WorkItem], float]:
+        fabric = self.system.fabric
+        ns = 0.0
+        out: List[WorkItem] = []
+        meter = _BurstMeter(fabric.mlp)
+        sim = self.system.sim
+        while len(out) < max_items:
+            index = self.head % self.n_slots
+            item = self._slots[index]
+            ns += meter.charge(
+                fabric.read(agent, self.slot_addr(self.head), self._bytes_per_slot)
+            )
+            if item is None:
+                break
+            if item.visible_at > sim.now:
+                break
+            ns += meter.charge(
+                fabric.write(agent, self.slot_addr(self.head), self._bytes_per_slot)
+            )
+            ns += self.system.cycles(self.CYCLES_PER_DESC)
+            self._slots[index] = None
+            out.append(item)
+            self.head += 1
+        return out, ns
+
+    def __repr__(self) -> str:
+        return (
+            f"<CoherentQueue {self.name!r} {self.layout.value} "
+            f"inline={self.inline_signals} head={self.head} tail={self.tail}>"
+        )

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the CC-NIC reproduction.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base type at an API boundary.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly."""
+
+
+class MemoryError_(ReproError):
+    """Address-space or region misuse (bad address, overlap, exhaustion)."""
+
+
+class CoherenceError(ReproError):
+    """The coherence protocol reached an inconsistent state."""
+
+
+class InterconnectError(ReproError):
+    """Invalid link configuration or message."""
+
+
+class NicError(ReproError):
+    """NIC interface misuse: bad descriptor, full ring, bad burst."""
+
+
+class PoolError(NicError):
+    """Buffer-pool misuse: double free, exhaustion, foreign buffer."""
+
+
+class ConfigError(ReproError):
+    """Invalid platform or interface configuration."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload parameters."""

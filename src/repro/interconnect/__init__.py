@@ -1,0 +1,6 @@
+"""Interconnect cost models: generic links, UPI, PCIe."""
+
+from repro.interconnect.link import Link, LinkStats
+from repro.interconnect.messages import MessageClass
+
+__all__ = ["Link", "LinkStats", "MessageClass"]

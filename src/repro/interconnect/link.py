@@ -1,0 +1,251 @@
+"""Generic point-to-point link cost model.
+
+A :class:`Link` charges three costs per message:
+
+* **propagation latency** — fixed one-way wire + protocol-stack delay;
+* **serialization** — ``(payload + header_overhead) / bandwidth``;
+* **queueing** — congestion-induced waiting, modelled from measured
+  utilization: each direction tracks the serialization demand offered
+  over a short trailing window and charges an M/D/1-style wait
+  ``ser * rho / (1 - rho)`` based on the previous window's utilization.
+  This is stable under the out-of-order local timestamps that burst
+  accesses generate (a backlog-horizon model is not) and produces
+  natural saturation behaviour: as offered load approaches line rate,
+  waits grow without bound and throttle the offering actors.
+
+The same class models UPI (both directions symmetric, high bandwidth)
+and a PCIe lane group. Utilization statistics feed the analysis layer's
+bandwidth-share model for multi-core scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import InterconnectError
+from repro.interconnect.messages import MessageClass
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class LinkStats:
+    """Aggregate per-direction traffic counters."""
+
+    messages: int = 0
+    payload_bytes: int = 0
+    wire_bytes: int = 0
+    busy_ns: float = 0.0
+    by_class: Dict[str, int] = field(default_factory=dict)
+
+    def note(self, cls: MessageClass, payload: int, wire: int, ser_ns: float) -> None:
+        self.messages += 1
+        self.payload_bytes += payload
+        self.wire_bytes += wire
+        self.busy_ns += ser_ns
+        self.by_class[cls.value] = self.by_class.get(cls.value, 0) + 1
+
+
+class Link:
+    """A full-duplex link between two endpoints (sockets or host/device).
+
+    Args:
+        sim: Simulator providing the clock used for queueing decisions.
+        name: Diagnostic label ("upi", "pcie-e810", ...).
+        latency_ns: One-way propagation latency per message.
+        bandwidth_bytes_per_ns: Per-direction serialization rate.
+        header_overhead: Protocol header bytes added to each message's
+            wire size (UPI flit headers, PCIe TLP headers).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        latency_ns: float,
+        bandwidth_bytes_per_ns: float,
+        header_overhead: int = 12,
+    ) -> None:
+        if latency_ns < 0:
+            raise InterconnectError(f"link {name!r}: negative latency")
+        if bandwidth_bytes_per_ns <= 0:
+            raise InterconnectError(f"link {name!r}: bandwidth must be positive")
+        self.sim = sim
+        self.name = name
+        self.latency_ns = latency_ns
+        self.bandwidth = bandwidth_bytes_per_ns
+        self.header_overhead = header_overhead
+        # Utilization-window state per direction: serialization demand
+        # accumulated in the current wall-time window, split by actor so
+        # an actor is never queued behind its own (self-paced) demand.
+        self._win_busy = [0.0, 0.0]
+        self._win_by: list = [{}, {}]
+        self._win_start = [0.0, 0.0]
+        self._rho = [0.0, 0.0]
+        self._rho_by: list = [{}, {}]
+        self.stats = (LinkStats(), LinkStats())
+
+    # ------------------------------------------------------------------
+    def one_way(
+        self,
+        cls: MessageClass,
+        direction: int,
+        payload_bytes: Optional[int] = None,
+        charge_queueing: bool = True,
+        actor: str = "anon",
+    ) -> float:
+        """Send one message; return the delay until it is delivered.
+
+        Args:
+            cls: Message class (sets default payload size).
+            direction: 0 or 1; which half of the duplex pair carries it.
+            payload_bytes: Override payload size (MMIO/DMA bodies).
+            charge_queueing: When False the message still consumes
+                bandwidth but the caller is not delayed by queueing
+                (used for prefetches and speculative reads that are not
+                on the requester's critical path).
+
+        Returns:
+            Nanoseconds from "now" until delivery at the far end.
+        """
+        if direction not in (0, 1):
+            raise InterconnectError(f"direction must be 0 or 1, got {direction}")
+        payload = cls.payload_bytes(payload_bytes or 0)
+        wire = payload + self.header_overhead
+        ser = wire / self.bandwidth
+        wait = self._enqueue(direction, ser, actor)
+        self.stats[direction].note(cls, payload, wire, ser)
+        if charge_queueing:
+            return wait + ser + self.latency_ns
+        return ser + self.latency_ns
+
+    def occupy(
+        self,
+        cls: MessageClass,
+        direction: int,
+        payload_bytes: Optional[int] = None,
+        inflate: float = 1.0,
+        charge_queueing: bool = True,
+        now: Optional[float] = None,
+        actor: str = "anon",
+    ) -> float:
+        """Consume bandwidth for one message; return only the queueing delay.
+
+        Used by the coherence fabric, whose zero-load latencies already
+        include propagation and serialization: the fabric adds just the
+        congestion-induced wait returned here. ``inflate`` scales the
+        wire size to model inefficient encodings (non-temporal
+        partial-line streams). ``actor`` names the issuing agent for the
+        per-actor utilization accounting (``now`` is accepted for
+        compatibility but windows roll on simulator time).
+        """
+        if direction not in (0, 1):
+            raise InterconnectError(f"direction must be 0 or 1, got {direction}")
+        if inflate < 1.0:
+            raise InterconnectError(f"inflate must be >= 1.0, got {inflate}")
+        payload = cls.payload_bytes(payload_bytes or 0)
+        wire = int((payload + self.header_overhead) * inflate)
+        ser = wire / self.bandwidth
+        wait = self._enqueue(direction, ser, actor)
+        self.stats[direction].note(cls, payload, wire, ser)
+        if charge_queueing:
+            return wait
+        return 0.0
+
+    #: Utilization-measurement window, ns.
+    WINDOW_NS = 2000.0
+    #: Utilization cap: keeps the M/D/1 wait finite at saturation.
+    RHO_CAP = 0.97
+
+    def _enqueue(self, direction: int, ser: float, actor: str) -> float:
+        """Record ``ser`` ns of demand by ``actor``; return the wait.
+
+        Windows roll on wall (simulator) time; demand is accounted per
+        actor. The wait charged to a message is an M/D/1-style
+        ``ser * rho / (1 - rho)`` where rho is the utilization offered
+        by *other* actors — an actor's own stream is already paced by
+        the latency charged to it, so it never queues behind itself.
+        """
+        t = self.sim.now
+        elapsed = t - self._win_start[direction]
+        if elapsed >= self.WINDOW_NS:
+            self._rho[direction] = min(
+                self.RHO_CAP, self._win_busy[direction] / elapsed
+            )
+            self._rho_by[direction] = {
+                a: min(self.RHO_CAP, busy / elapsed)
+                for a, busy in self._win_by[direction].items()
+            }
+            self._win_start[direction] = t
+            self._win_busy[direction] = 0.0
+            self._win_by[direction] = {}
+        self._win_busy[direction] += ser
+        by = self._win_by[direction]
+        by[actor] = by.get(actor, 0.0) + ser
+        settled_others = max(
+            0.0, self._rho[direction] - self._rho_by[direction].get(actor, 0.0)
+        )
+        live_elapsed = max(self.WINDOW_NS / 4, t - self._win_start[direction] + ser)
+        live_others = (self._win_busy[direction] - by[actor]) / live_elapsed
+        rho_others = min(self.RHO_CAP, max(settled_others, live_others))
+        if rho_others <= 0.0:
+            return 0.0
+        # Two congestion regimes, take whichever binds less:
+        #  * M/D/1 residual wait — right for a light actor slipping
+        #    messages between heavy streams;
+        #  * proportional fair share — right at saturation, where each
+        #    heavy stream gets capacity * (its demand / total demand)
+        #    and the M/D/1 pole would overshoot.
+        mm1 = ser * rho_others / (1.0 - rho_others)
+        own = max(by[actor], ser)
+        total = self._win_busy[direction]
+        settled_total = self._rho[direction]
+        live_total = total / live_elapsed
+        rho_total = min(1.0, max(settled_total, live_total))
+        fair = ser * max(0.0, total / own - 1.0) * rho_total * rho_total
+        return min(mm1, fair)
+
+    def round_trip(
+        self,
+        request: MessageClass,
+        response: MessageClass,
+        direction: int,
+        request_bytes: Optional[int] = None,
+        response_bytes: Optional[int] = None,
+    ) -> float:
+        """Request out on ``direction``, response back on the other half."""
+        out = self.one_way(request, direction, request_bytes)
+        back = self.one_way(response, 1 - direction, response_bytes)
+        return out + back
+
+    # ------------------------------------------------------------------
+    def utilization(self, direction: int, window_ns: float) -> float:
+        """Fraction of ``window_ns`` this direction spent serializing."""
+        if window_ns <= 0:
+            return 0.0
+        return min(1.0, self.stats[direction].busy_ns / window_ns)
+
+    def total_wire_bytes(self) -> int:
+        """Wire bytes in both directions combined."""
+        return self.stats[0].wire_bytes + self.stats[1].wire_bytes
+
+    def reset_stats(self) -> None:
+        """Clear traffic statistics (does not reset the fluid backlog)."""
+        self.stats = (LinkStats(), LinkStats())
+
+    def rho(self, direction: int) -> float:
+        """Most recently settled utilization estimate for a direction."""
+        return self._rho[direction]
+
+    def scaled(self, latency_factor: float = 1.0, bandwidth_factor: float = 1.0) -> None:
+        """Rescale link performance in place (Fig 21 sensitivity knob)."""
+        if latency_factor <= 0 or bandwidth_factor <= 0:
+            raise InterconnectError("scale factors must be positive")
+        self.latency_ns *= latency_factor
+        self.bandwidth *= bandwidth_factor
+
+    def __repr__(self) -> str:
+        return (
+            f"<Link {self.name!r} lat={self.latency_ns:.1f}ns "
+            f"bw={self.bandwidth * 8:.0f}Gbps>"
+        )

@@ -1,0 +1,63 @@
+"""Message classes that cross an interconnect link.
+
+These mirror the coherence/IO traffic the paper measures: data reads
+(READ), reads-for-ownership (RFO), writebacks, invalidations and their
+acks, and the PCIe-side MMIO/DMA transactions. Each class has a nominal
+payload size used for bandwidth accounting; data-carrying classes move a
+full cache line (plus per-message protocol header overhead charged by the
+link).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.mem.address import CACHE_LINE_SIZE
+
+
+class MessageClass(enum.Enum):
+    """Kind of interconnect message, with its payload size in bytes."""
+
+    # Coherent traffic (UPI/CXL-style).
+    READ = "read"                  # data response: one cache line
+    RFO = "rfo"                    # read-for-ownership: one cache line
+    INVALIDATE = "invalidate"      # ownership transfer without data
+    WRITEBACK = "writeback"        # dirty-line eviction to remote home
+    SNOOP = "snoop"                # control-only probe
+    ACK = "ack"                    # control-only completion
+    SPECULATIVE_MEM_READ = "spec_mem_read"  # spurious reader-homed DRAM read
+    PREFETCH = "prefetch"          # hardware prefetch of one line
+
+    # PCIe traffic.
+    MMIO_READ = "mmio_read"        # non-posted read request + completion
+    MMIO_WRITE = "mmio_write"      # posted write (up to one WC buffer)
+    DMA_READ = "dma_read"          # device-initiated read of host memory
+    DMA_WRITE = "dma_write"        # device-initiated write of host memory
+
+    @property
+    def carries_line(self) -> bool:
+        """True for messages whose payload is a full cache line."""
+        return self in _LINE_CARRIERS
+
+    def payload_bytes(self, explicit: int = 0) -> int:
+        """Payload size for bandwidth accounting.
+
+        ``explicit`` overrides the default for variable-size classes
+        (MMIO and DMA transfers).
+        """
+        if explicit:
+            return explicit
+        if self in _LINE_CARRIERS:
+            return CACHE_LINE_SIZE
+        return 0
+
+
+_LINE_CARRIERS = frozenset(
+    {
+        MessageClass.READ,
+        MessageClass.RFO,
+        MessageClass.WRITEBACK,
+        MessageClass.SPECULATIVE_MEM_READ,
+        MessageClass.PREFETCH,
+    }
+)

@@ -1,0 +1,17 @@
+"""Physical address space model: regions, homing, memory types."""
+
+from repro.mem.address import CACHE_LINE_SIZE, line_base, line_index, line_offset, lines_spanned
+from repro.mem.memtype import MemType
+from repro.mem.region import Region
+from repro.mem.space import AddressSpace
+
+__all__ = [
+    "AddressSpace",
+    "CACHE_LINE_SIZE",
+    "MemType",
+    "Region",
+    "line_base",
+    "line_index",
+    "line_offset",
+    "lines_spanned",
+]

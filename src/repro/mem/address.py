@@ -1,0 +1,31 @@
+"""Cache-line arithmetic on integer byte addresses."""
+
+from __future__ import annotations
+
+from typing import List
+
+CACHE_LINE_SIZE = 64
+
+
+def line_index(addr: int) -> int:
+    """Cache-line number containing byte address ``addr``."""
+    return addr // CACHE_LINE_SIZE
+
+
+def line_base(addr: int) -> int:
+    """Byte address of the start of the line containing ``addr``."""
+    return addr - (addr % CACHE_LINE_SIZE)
+
+
+def line_offset(addr: int) -> int:
+    """Offset of ``addr`` within its cache line."""
+    return addr % CACHE_LINE_SIZE
+
+
+def lines_spanned(addr: int, size: int) -> List[int]:
+    """All cache-line numbers touched by ``size`` bytes at ``addr``."""
+    if size <= 0:
+        return []
+    first = line_index(addr)
+    last = line_index(addr + size - 1)
+    return list(range(first, last + 1))

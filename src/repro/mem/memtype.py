@@ -1,0 +1,27 @@
+"""x86 memory types relevant to host-device communication.
+
+Only three types matter to the paper: write-back (the normal cacheable,
+coherent path), write-combining (streaming stores through a finite buffer
+file, used for PCIe MMIO data paths), and uncacheable (strongly ordered,
+one access in flight — used for doorbell registers).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class MemType(enum.Enum):
+    """Memory type of a region, controlling which data path accesses use."""
+
+    WRITEBACK = "WB"
+    WRITE_COMBINING = "WC"
+    UNCACHEABLE = "UC"
+
+    @property
+    def is_cacheable(self) -> bool:
+        """Only write-back memory participates in the coherence protocol."""
+        return self is MemType.WRITEBACK
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

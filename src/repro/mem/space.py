@@ -1,0 +1,89 @@
+"""A flat physical address space carved into regions.
+
+The space is a bump allocator over a single integer address range.
+Regions never overlap and are always cache-line aligned, so the
+coherence layer can map any line number back to its region (for homing
+and memory-type decisions) with a sorted-list lookup.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional
+
+from repro.errors import MemoryError_
+from repro.mem.address import CACHE_LINE_SIZE
+from repro.mem.memtype import MemType
+from repro.mem.region import Region
+from repro.units import align_up
+
+
+class AddressSpace:
+    """Allocates non-overlapping, line-aligned :class:`Region` objects."""
+
+    def __init__(self, base: int = 0x1000_0000) -> None:
+        self._cursor = align_up(base, CACHE_LINE_SIZE)
+        self._regions: List[Region] = []
+        self._bases: List[int] = []
+
+    def allocate(
+        self,
+        name: str,
+        size: int,
+        home: int,
+        memtype: MemType = MemType.WRITEBACK,
+        align: int = CACHE_LINE_SIZE,
+    ) -> Region:
+        """Carve a new region off the top of the space.
+
+        Args:
+            name: Diagnostic label.
+            size: Bytes; rounded up to a whole number of cache lines.
+            home: Socket index owning the backing memory.
+            memtype: Data-path type for accesses to this region.
+            align: Base alignment (>= cache line).
+
+        Returns:
+            The newly created region.
+        """
+        if size <= 0:
+            raise MemoryError_(f"cannot allocate {size} bytes for {name!r}")
+        if align < CACHE_LINE_SIZE or align % CACHE_LINE_SIZE:
+            raise MemoryError_(f"alignment {align} must be a multiple of 64")
+        base = align_up(self._cursor, align)
+        rounded = align_up(size, CACHE_LINE_SIZE)
+        region = Region(name=name, base=base, size=rounded, home=home, memtype=memtype)
+        self._cursor = base + rounded
+        index = bisect.bisect_left(self._bases, base)
+        self._bases.insert(index, base)
+        self._regions.insert(index, region)
+        return region
+
+    def region_of(self, addr: int) -> Region:
+        """Region containing byte address ``addr``.
+
+        Raises:
+            MemoryError_: if the address falls outside every region.
+        """
+        region = self.try_region_of(addr)
+        if region is None:
+            raise MemoryError_(f"address {addr:#x} is not mapped")
+        return region
+
+    def try_region_of(self, addr: int) -> Optional[Region]:
+        """Like :meth:`region_of` but returns None for unmapped addresses."""
+        index = bisect.bisect_right(self._bases, addr) - 1
+        if index < 0:
+            return None
+        region = self._regions[index]
+        if region.contains(addr):
+            return region
+        return None
+
+    @property
+    def regions(self) -> List[Region]:
+        """All regions, ordered by base address."""
+        return list(self._regions)
+
+    def __repr__(self) -> str:
+        return f"<AddressSpace regions={len(self._regions)} cursor={self._cursor:#x}>"

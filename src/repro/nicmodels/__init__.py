@@ -1,0 +1,23 @@
+"""Baseline NIC interface models.
+
+Three baselines complement CC-NIC:
+
+* :class:`PcieNicInterface` with the E810 spec — today's standard PCIe
+  NIC: host-local rings, DMA descriptor fetch, MMIO doorbells.
+* :class:`PcieNicInterface` with the CX6 spec — adds the MMIO-inline
+  descriptor path for latency-critical small packets.
+* :func:`unoptimized_upi_config` — the paper's "unopt" baseline: the
+  E810 software interface (packed descriptors, register signaling,
+  host-only buffer management) run verbatim over the coherent
+  interconnect.
+"""
+
+from repro.nicmodels.pcie_nic import PcieNicConfig, PcieNicDriver, PcieNicInterface
+from repro.nicmodels.unopt import unoptimized_upi_config
+
+__all__ = [
+    "PcieNicConfig",
+    "PcieNicDriver",
+    "PcieNicInterface",
+    "unoptimized_upi_config",
+]

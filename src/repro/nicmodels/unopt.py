@@ -1,0 +1,42 @@
+"""The unoptimized-UPI baseline (§5.1's "Unoptimized UPI" scenario).
+
+The paper implements the Intel E810's software interface verbatim over
+the UPI interconnect: write-back memory and caching accesses, but the
+E810's data-structure layout and register-based signaling. In our model
+that is precisely a :class:`~repro.core.config.CcnicConfig` with every
+coherence-specific optimization turned off:
+
+* packed 16B descriptors (the E810 layout) with **register** signaling
+  (separate head/tail lines) instead of inlined signals;
+* everything homed on the host socket (the E810's rings and registers
+  live in host memory);
+* host-only buffer management: pre-posted blank RX buffers, TX
+  completions reaped by the host, no recycling stacks, no small-buffer
+  subdivision, sequential pool fill.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import CcnicConfig, DescLayout
+
+
+def unoptimized_upi_config(**overrides) -> CcnicConfig:
+    """CcnicConfig for the unoptimized-UPI baseline.
+
+    Keyword overrides are applied on top (e.g. ``ring_slots=2048``).
+    """
+    base = dict(
+        inline_signals=False,
+        desc_layout=DescLayout.PACK,
+        buf_recycling=False,
+        small_buffers=False,
+        nic_buffer_mgmt=False,
+        nonseq_alloc=False,
+        writer_homed_rings=False,
+        caching_stores=True,
+        # A production-sized mempool: FIFO reuse cycles the full
+        # footprint, so buffers come back cache-cold (no recycling).
+        pool_buffers=16384,
+    )
+    base.update(overrides)
+    return CcnicConfig(**base)

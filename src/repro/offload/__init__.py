@@ -1,0 +1,5 @@
+"""Extension features from the paper's Discussion (§6): DMA offload."""
+
+from repro.offload.dsa import DsaEngine, DsaCompletion
+
+__all__ = ["DsaCompletion", "DsaEngine"]

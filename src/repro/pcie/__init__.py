@@ -1,0 +1,7 @@
+"""PCIe device-access substrate: MMIO (UC/WC), write-combining, DMA."""
+
+from repro.pcie.wc import WcBufferFile
+from repro.pcie.mmio import MmioPath
+from repro.pcie.dma import DmaEngine
+
+__all__ = ["DmaEngine", "MmioPath", "WcBufferFile"]

@@ -1,0 +1,39 @@
+"""Interconnect generation data (the paper's Table 1).
+
+Bandwidths as published: per-link GB/s and the maximum total GB/s for
+the widest deployed configuration (x16 for PCIe/CXL; 3 links for Ice
+Lake UPI, 4 for Sapphire Rapids UPI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class LinkGeneration:
+    """One row of Table 1."""
+
+    protocol: str
+    gts: float              # transfer rate, GT/s
+    one_link_gbs: float     # one link/lane bandwidth, GB/s
+    max_total_gbs: float    # widest configuration bandwidth, GB/s
+    config: str             # the configuration the max applies to
+
+
+LINK_GENERATIONS: Tuple[LinkGeneration, ...] = (
+    LinkGeneration("PCIe 4.0", 16.0, 2.0, 31.5, "x16"),
+    LinkGeneration("PCIe 5.0, CXL 1.0-2.0", 32.0, 3.9, 63.0, "x16"),
+    LinkGeneration("PCIe 6.0, CXL 3.0", 64.0, 7.6, 121.0, "x16"),
+    LinkGeneration("Ice Lake UPI", 11.2, 22.4, 67.2, "x3"),
+    LinkGeneration("Sapphire Rapids UPI", 16.0, 48.0, 192.0, "x4"),
+)
+
+
+def table1_rows() -> List[Tuple[str, float, float, float]]:
+    """Rows of Table 1 as (protocol, GT/s, one-link GB/s, max GB/s)."""
+    return [
+        (g.protocol, g.gts, g.one_link_gbs, g.max_total_gbs)
+        for g in LINK_GENERATIONS
+    ]

@@ -1,0 +1,99 @@
+"""PCIe NIC hardware parameter sets.
+
+These capture the host-visible behaviour of the two NICs the paper
+measures on the ICX server. Timing constants are calibrated against the
+paper's §2.2 microbenchmarks and §5.3 loopback results:
+
+* MMIO read round trip ~982ns (8B) / ~1026ns (64B) on ICX + E810;
+* write-combining buffer file exhausts at ~24 in-flight 64B buffers,
+  after which stores stall >15x longer (Fig 3);
+* minimum loopback latency 3.8us (E810) / 2.1us (CX6);
+* maximum 64B loopback rate 192Mpps (E810) / 76Mpps (CX6);
+* both NICs rated 2x100GbE, on a 252Gbps PCIe 4.0 x16 link.
+
+The CX6 reaches lower minimum latency because it supports writing the
+descriptor (with inline payload) directly via MMIO for latency-critical
+traffic, skipping the descriptor-DMA round trip; its packet pipeline has
+a lower peak rate in this loopback configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class NicHardwareSpec:
+    """Host-visible performance model of one PCIe NIC.
+
+    Attributes:
+        name: Marketing-ish name used in output tables.
+        pcie_one_way_ns: One-way PCIe traversal (MMIO/DMA/doorbell).
+        mmio_read_rtt_ns: Host load from BAR space, full round trip.
+        dma_rtt_ns: Device-initiated read round trip (request + data).
+        pipeline_ns: Internal packet-processing latency per direction.
+        pps_capacity: Peak loopback packets/second of the packet engine.
+        line_rate_gbps: Ethernet-side rated throughput.
+        wc_buffers: Host CPU write-combining buffers usable toward this
+            device (platform property, kept here for convenience).
+        wc_evict_stall_ns: Store stall when the WC buffer file is full
+            and a buffer must be flushed to this device (Fig 3 cliff).
+        inline_descriptors: Whether the NIC accepts descriptors (and
+            small payloads) via MMIO writes, skipping descriptor DMA
+            (the CX6 low-latency path).
+        doorbell_coalesce_ns: Device-side delay coalescing doorbells.
+    """
+
+    name: str
+    pcie_one_way_ns: float
+    mmio_read_rtt_ns: float
+    dma_rtt_ns: float
+    pipeline_ns: float
+    pps_capacity: float
+    line_rate_gbps: float
+    wc_buffers: int = 24
+    wc_evict_stall_ns: float = 450.0
+    inline_descriptors: bool = False
+    doorbell_coalesce_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.pcie_one_way_ns <= 0 or self.dma_rtt_ns <= 0:
+            raise ConfigError(f"{self.name}: latencies must be positive")
+        if self.pps_capacity <= 0 or self.line_rate_gbps <= 0:
+            raise ConfigError(f"{self.name}: capacities must be positive")
+        if self.wc_buffers <= 0:
+            raise ConfigError(f"{self.name}: wc_buffers must be positive")
+
+
+#: Intel E810-2CQDA2: descriptor-DMA interface; higher packet engine rate.
+E810 = NicHardwareSpec(
+    name="E810",
+    pcie_one_way_ns=450.0,
+    mmio_read_rtt_ns=982.0,
+    dma_rtt_ns=950.0,
+    pipeline_ns=1330.0,
+    pps_capacity=195e6,
+    line_rate_gbps=200.0,
+    wc_buffers=24,
+    wc_evict_stall_ns=500.0,
+    inline_descriptors=False,
+    doorbell_coalesce_ns=200.0,
+)
+
+#: Nvidia ConnectX-6 Dx: MMIO-inline descriptor path at low load; lower
+#: peak loopback packet rate in this (non-forwarding) configuration.
+CX6 = NicHardwareSpec(
+    name="CX6",
+    pcie_one_way_ns=450.0,
+    mmio_read_rtt_ns=1010.0,
+    dma_rtt_ns=950.0,
+    pipeline_ns=1000.0,
+    pps_capacity=78e6,
+    line_rate_gbps=200.0,
+    wc_buffers=24,
+    wc_evict_stall_ns=280.0,
+    inline_descriptors=True,
+    doorbell_coalesce_ns=0.0,
+)

@@ -1,0 +1,142 @@
+"""System builder: a simulated two-socket server.
+
+A :class:`System` bundles the simulator, address space, UPI link and
+coherence fabric, and knows which socket plays "host" and which plays
+"NIC" (the paper's software-NIC methodology, §4). The same-socket
+deployment of Fig 18 is a constructor flag; the Fig 21 sensitivity study
+uses the latency/bandwidth scale factors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.coherence.cache import CacheAgent
+from repro.coherence.fabric import CoherenceFabric
+from repro.interconnect.link import Link
+from repro.mem.memtype import MemType
+from repro.mem.region import Region
+from repro.mem.space import AddressSpace
+from repro.platform.presets import PlatformSpec
+from repro.sim.engine import Simulator
+
+
+class System:
+    """A ready-to-use simulated dual-socket server.
+
+    Args:
+        spec: Platform preset (``icx()`` or ``spr()``).
+        same_socket: Deploy the NIC agents on the host socket (Fig 18),
+            eliminating all cross-UPI communication.
+        prefetch_host: Enable the hardware prefetcher on host agents
+            (the paper's default setting for all main results).
+        prefetch_nic: Enable the prefetcher on NIC agents.
+        link_latency_factor: Multiplier on cross-socket access latency
+            (Fig 21a sensitivity).
+        link_bandwidth_factor: Multiplier on UPI wire bandwidth
+            (Fig 21b sensitivity).
+    """
+
+    HOST_SOCKET = 0
+    NIC_SOCKET = 1
+
+    def __init__(
+        self,
+        spec: PlatformSpec,
+        same_socket: bool = False,
+        prefetch_host: bool = True,
+        prefetch_nic: bool = False,
+        link_latency_factor: float = 1.0,
+        link_bandwidth_factor: float = 1.0,
+    ) -> None:
+        self.spec = spec
+        self.same_socket = same_socket
+        self.prefetch_host = prefetch_host
+        self.prefetch_nic = prefetch_nic
+        self.sim = Simulator()
+        self.space = AddressSpace()
+        self.link = Link(
+            self.sim,
+            name="upi",
+            latency_ns=spec.upi_latency_ns * link_latency_factor,
+            bandwidth_bytes_per_ns=spec.upi_wire_bytes_per_ns * link_bandwidth_factor,
+            header_overhead=spec.upi_header_overhead,
+        )
+        cost = spec.cost
+        if link_latency_factor != 1.0:
+            cost = cost.scaled_remote(link_latency_factor)
+        self.cost = cost
+        self.fabric = CoherenceFabric(
+            sim=self.sim,
+            space=self.space,
+            cost=cost,
+            link=self.link,
+            mlp=spec.mlp,
+            write_pipeline=spec.write_pipeline,
+        )
+
+    # ------------------------------------------------------------------
+    # Agents
+    # ------------------------------------------------------------------
+    @property
+    def nic_socket(self) -> int:
+        """Socket index hosting the (software) NIC."""
+        return self.HOST_SOCKET if self.same_socket else self.NIC_SOCKET
+
+    def _core_capacity(self) -> int:
+        """Effective per-core caching capacity in lines.
+
+        Agents model a core's private L2 *plus* its share of the
+        socket's LLC: the fabric has no separate LLC level, and without
+        the share, working sets that in hardware spill harmlessly into
+        the multi-megabyte LLC would thrash to DRAM across the
+        interconnect. Detailed simulations run only a few agents per
+        socket, so a quarter of the LLC per agent is conservative.
+        """
+        return self.spec.l2_lines + self.spec.llc_lines // 4
+
+    def new_host_core(self, name: str, prefetch: Optional[bool] = None) -> CacheAgent:
+        """A host CPU core's caching agent."""
+        enabled = self.prefetch_host if prefetch is None else prefetch
+        return self.fabric.new_agent(
+            name, self.HOST_SOCKET, capacity_lines=self._core_capacity(),
+            prefetch=enabled,
+        )
+
+    def new_nic_core(self, name: str, prefetch: Optional[bool] = None) -> CacheAgent:
+        """A NIC-side processing agent (a core of the software NIC)."""
+        enabled = self.prefetch_nic if prefetch is None else prefetch
+        return self.fabric.new_agent(
+            name, self.nic_socket, capacity_lines=self._core_capacity(),
+            prefetch=enabled,
+        )
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def alloc_host(self, name: str, size: int, memtype: MemType = MemType.WRITEBACK) -> Region:
+        """Allocate memory homed on the host socket."""
+        return self.space.allocate(name, size, home=self.HOST_SOCKET, memtype=memtype)
+
+    def alloc_nic(self, name: str, size: int, memtype: MemType = MemType.WRITEBACK) -> Region:
+        """Allocate memory homed on the NIC socket (coherent device memory)."""
+        return self.space.allocate(name, size, home=self.nic_socket, memtype=memtype)
+
+    def alloc_on(self, name: str, size: int, socket: int) -> Region:
+        """Allocate write-back memory homed on an explicit socket."""
+        return self.space.allocate(name, size, home=socket, memtype=MemType.WRITEBACK)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def cycles(self, count: float) -> float:
+        """Core-cycle count converted to ns on this platform."""
+        return self.spec.cycles_to_ns(count)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def __repr__(self) -> str:
+        mode = "same-socket" if self.same_socket else "cross-UPI"
+        return f"<System {self.spec.name} {mode}>"

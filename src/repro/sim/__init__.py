@@ -1,0 +1,15 @@
+"""Discrete-event simulation engine and statistics utilities."""
+
+from repro.sim.engine import Delay, Process, Simulator
+from repro.sim.stats import Counter, Histogram, RateMeter
+from repro.sim.rng import make_rng
+
+__all__ = [
+    "Counter",
+    "Delay",
+    "Histogram",
+    "Process",
+    "RateMeter",
+    "Simulator",
+    "make_rng",
+]

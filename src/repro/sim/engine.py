@@ -1,0 +1,176 @@
+"""A small discrete-event simulation engine.
+
+The engine advances a virtual nanosecond clock and interleaves *processes*.
+A process is a Python generator that yields the number of nanoseconds it
+wants to sleep before its next step::
+
+    def poller(sim):
+        while True:
+            work_ns = do_poll()
+            yield work_ns
+
+    sim = Simulator()
+    sim.spawn(poller(sim), name="poller")
+    sim.run(until=10_000)
+
+Yielding ``0`` (or any non-negative float) reschedules the process after
+that much virtual time; other processes scheduled earlier run first.
+Processes end by returning. The engine is deterministic: ties in time are
+broken by spawn order, then scheduling order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+
+#: Type of the generators the engine runs.
+ProcessBody = Generator[float, None, None]
+
+
+class Delay(float):
+    """Explicit wrapper for a yielded delay; plain floats work too."""
+
+
+class Process:
+    """Handle to a spawned process.
+
+    Attributes:
+        name: Human-readable label, used in error messages.
+        done: True once the generator has returned or was stopped.
+    """
+
+    _ids = 0
+
+    def __init__(self, body: ProcessBody, name: str):
+        if not hasattr(body, "send"):
+            raise SimulationError(
+                f"process {name!r} must be a generator, got {type(body).__name__}"
+            )
+        self.body = body
+        self.name = name
+        self.done = False
+        Process._ids += 1
+        self.pid = Process._ids
+
+    def stop(self) -> None:
+        """Prevent any further steps of this process."""
+        self.done = True
+        self.body.close()
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "running"
+        return f"<Process {self.name!r} pid={self.pid} {state}>"
+
+
+class Simulator:
+    """Event loop owning the virtual clock.
+
+    The clock starts at 0.0 ns and only moves forward. All model objects
+    that need the current time should hold a reference to the simulator
+    and read :attr:`now`.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list = []
+        self._seq = 0
+        self._processes: list[Process] = []
+        self.events_executed = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def spawn(self, body: ProcessBody, name: str = "proc", delay: float = 0.0) -> Process:
+        """Register a generator as a process; first step runs after ``delay``."""
+        proc = Process(body, name)
+        self._processes.append(proc)
+        self._schedule(self.now + delay, self._step, proc)
+        return proc
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> None:
+        """Run a plain callback at absolute virtual time ``when``."""
+        if when < self.now:
+            raise SimulationError(f"cannot schedule in the past: {when} < {self.now}")
+        self._schedule(when, self._call, fn)
+
+    def call_after(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run a plain callback ``delay`` ns from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self._schedule(self.now + delay, self._call, fn)
+
+    def _schedule(self, when: float, kind: Callable, payload) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, kind, payload))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> float:
+        """Run events until the queue drains or a bound is hit.
+
+        Args:
+            until: Stop once the clock would pass this absolute time.
+            max_events: Stop after this many events (safety valve).
+            stop_when: Checked after every event; True stops the run.
+
+        Returns:
+            The virtual time at which the run stopped.
+        """
+        executed = 0
+        while self._heap:
+            when, _seq, kind, payload = self._heap[0]
+            if until is not None and when > until:
+                self.now = until
+                break
+            heapq.heappop(self._heap)
+            self.now = when
+            kind(payload)
+            self.events_executed += 1
+            executed += 1
+            if stop_when is not None and stop_when():
+                break
+            if max_events is not None and executed >= max_events:
+                break
+        return self.now
+
+    def _call(self, fn: Callable[[], None]) -> None:
+        fn()
+
+    def _step(self, proc: Process) -> None:
+        if proc.done:
+            return
+        try:
+            delay = next(proc.body)
+        except StopIteration:
+            proc.done = True
+            return
+        if delay is None or float(delay) < 0:
+            proc.done = True
+            raise SimulationError(
+                f"process {proc.name!r} yielded invalid delay {delay!r}"
+            )
+        self._schedule(self.now + float(delay), self._step, proc)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of events currently queued."""
+        return len(self._heap)
+
+    def alive_processes(self) -> Iterable[Process]:
+        """Processes that have not finished."""
+        return [p for p in self._processes if not p.done]
+
+    def __repr__(self) -> str:
+        return f"<Simulator now={self.now:.1f}ns pending={self.pending}>"

@@ -1,0 +1,177 @@
+"""Statistics primitives used across the simulator.
+
+These are deliberately simple: experiments in this package collect a few
+thousand samples each, so histograms keep raw samples and compute exact
+quantiles.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional
+
+
+class Counter:
+    """A named bag of monotonically increasing counters."""
+
+    def __init__(self) -> None:
+        self._values: Dict[str, float] = {}
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Increment ``name`` by ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self._values[name] = self._values.get(name, 0.0) + amount
+
+    def get(self, name: str) -> float:
+        """Current value of ``name`` (0 if never incremented)."""
+        return self._values.get(name, 0.0)
+
+    def names(self) -> List[str]:
+        """Sorted list of counters that have been touched."""
+        return sorted(self._values)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Copy of all counters."""
+        return dict(self._values)
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self._values.clear()
+
+    def diff(self, earlier: Dict[str, float]) -> Dict[str, float]:
+        """Per-counter delta versus an earlier :meth:`snapshot`."""
+        out = {}
+        for name, value in self._values.items():
+            out[name] = value - earlier.get(name, 0.0)
+        return out
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v:g}" for k, v in sorted(self._values.items()))
+        return f"Counter({inner})"
+
+
+class Histogram:
+    """Collects raw samples; exact quantiles over what was recorded."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
+
+    def record(self, value: float) -> None:
+        """Add one sample."""
+        self._samples.append(value)
+        self._sorted = None
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Add many samples."""
+        self._samples.extend(values)
+        self._sorted = None
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            return math.nan
+        return sum(self._samples) / len(self._samples)
+
+    @property
+    def minimum(self) -> float:
+        return min(self._samples) if self._samples else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return max(self._samples) if self._samples else math.nan
+
+    def percentile(self, pct: float) -> float:
+        """Exact percentile (nearest-rank with interpolation)."""
+        if not self._samples:
+            return math.nan
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"percentile out of range: {pct}")
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        data = self._sorted
+        if len(data) == 1:
+            return data[0]
+        rank = (pct / 100.0) * (len(data) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return data[low]
+        frac = rank - low
+        return data[low] * (1.0 - frac) + data[high] * frac
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50.0)
+
+    def summary(self) -> Dict[str, float]:
+        """Dict with count/mean/min/median/p99/max."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": self.minimum,
+            "median": self.median,
+            "p99": self.percentile(99.0),
+            "max": self.maximum,
+        }
+
+    def __repr__(self) -> str:
+        if not self._samples:
+            return f"Histogram({self.name!r}, empty)"
+        return (
+            f"Histogram({self.name!r}, n={self.count}, "
+            f"median={self.median:.1f}, p99={self.percentile(99):.1f})"
+        )
+
+
+class RateMeter:
+    """Counts events/bytes over a window of virtual time."""
+
+    def __init__(self) -> None:
+        self.events = 0
+        self.byte_count = 0
+        self.start_ns: Optional[float] = None
+        self.end_ns: Optional[float] = None
+
+    def mark(self, now_ns: float, byte_count: int = 0, events: int = 1) -> None:
+        """Record ``events`` events carrying ``byte_count`` bytes at ``now_ns``."""
+        if self.start_ns is None:
+            self.start_ns = now_ns
+        self.end_ns = now_ns
+        self.events += events
+        self.byte_count += byte_count
+
+    @property
+    def elapsed_ns(self) -> float:
+        if self.start_ns is None or self.end_ns is None:
+            return 0.0
+        return self.end_ns - self.start_ns
+
+    def events_per_second(self) -> float:
+        """Average event rate in events/s over the marked window."""
+        elapsed = self.elapsed_ns
+        if elapsed <= 0:
+            return 0.0
+        return self.events / elapsed * 1e9
+
+    def gbps(self) -> float:
+        """Average data rate in Gbps over the marked window."""
+        elapsed = self.elapsed_ns
+        if elapsed <= 0:
+            return 0.0
+        return self.byte_count * 8.0 / elapsed
+
+    def __repr__(self) -> str:
+        return (
+            f"RateMeter(events={self.events}, bytes={self.byte_count}, "
+            f"elapsed={self.elapsed_ns:.0f}ns)"
+        )

@@ -1,0 +1,17 @@
+"""Workloads: packets, traffic generation, load control, distributions."""
+
+from repro.workloads.packets import Packet
+from repro.workloads.distributions import (
+    AdsObjectSizes,
+    GeoObjectSizes,
+    ObjectSizeDistribution,
+    ZipfKeys,
+)
+
+__all__ = [
+    "AdsObjectSizes",
+    "GeoObjectSizes",
+    "ObjectSizeDistribution",
+    "Packet",
+    "ZipfKeys",
+]

@@ -1,0 +1,47 @@
+"""Packet representation.
+
+Packets are logical: the simulator never materialises payload bytes, only
+sizes and timestamps. ``tx_ns`` is stamped when the application submits
+the packet, so TX-RX loopback latency is ``rx_ns - tx_ns`` in virtual
+time — the same definition the paper's DPDK traffic generator uses.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import WorkloadError
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One packet travelling through a simulated NIC interface.
+
+    Attributes:
+        size: Payload bytes on the wire.
+        tx_ns: Virtual time the application submitted it (set by apps).
+        rx_ns: Virtual time the application received it back.
+        pkt_id: Unique id, useful in tests and tracing.
+        flow: Optional flow label for application workloads.
+    """
+
+    size: int
+    tx_ns: float = 0.0
+    rx_ns: Optional[float] = None
+    pkt_id: int = field(default_factory=lambda: next(_packet_ids))
+    flow: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise WorkloadError(f"packet size must be positive, got {self.size}")
+
+    @property
+    def latency_ns(self) -> float:
+        """TX-to-RX loopback latency; only valid once received."""
+        if self.rx_ns is None:
+            raise WorkloadError(f"packet {self.pkt_id} has not been received")
+        return self.rx_ns - self.tx_ns

@@ -1,0 +1,245 @@
+"""Loopback traffic generator (the paper's measurement application).
+
+Mirrors the evaluation setup of §5.1: each application thread owns a
+private TX/RX queue pair, allocates TX buffers, writes full timestamped
+payloads for each burst, polls its RX queue, reads every RX payload, and
+frees buffers. Latency is TX-submit to RX-read in virtual time;
+throughput is received packets over the measurement window.
+
+Two load modes:
+
+* **closed loop** — at most ``inflight`` packets outstanding; with
+  ``inflight=1`` this measures minimum latency.
+* **open loop** — batches are offered at a fixed rate; if the interface
+  cannot keep up, ring backpressure throttles the generator and the
+  achieved rate saturates below the offered rate, tracing out the
+  paper's throughput-latency curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.sim.rng import make_rng
+from repro.sim.stats import Histogram
+from repro.workloads.packets import Packet
+
+#: Fixed per-iteration application overhead, cycles (loop, branch, timestamping).
+APP_CYCLES_PER_LOOP = 16
+APP_CYCLES_PER_PKT = 14
+
+
+@dataclass
+class LoopbackResult:
+    """Measurement outcome of one traffic-generator run."""
+
+    sent: int = 0
+    received: int = 0
+    bytes_received: int = 0
+    window_start_ns: float = 0.0
+    window_end_ns: float = 0.0
+    latency: Histogram = field(default_factory=lambda: Histogram("latency_ns"))
+    backpressure_events: int = 0
+
+    @property
+    def elapsed_ns(self) -> float:
+        return max(0.0, self.window_end_ns - self.window_start_ns)
+
+    @property
+    def mpps(self) -> float:
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self._measured / self.elapsed_ns * 1e3
+
+    @property
+    def gbps(self) -> float:
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self._measured_bytes * 8.0 / self.elapsed_ns
+
+    # Set by the generator: packets/bytes inside the measurement window.
+    _measured: int = 0
+    _measured_bytes: int = 0
+
+    @property
+    def median_latency_ns(self) -> float:
+        return self.latency.median
+
+    def __repr__(self) -> str:
+        return (
+            f"LoopbackResult(rx={self.received}, {self.mpps:.1f}Mpps, "
+            f"{self.gbps:.1f}Gbps, median={self.latency.median:.0f}ns)"
+        )
+
+
+class LoopbackApp:
+    """One application thread driving one queue pair.
+
+    Args:
+        driver: Host-side driver (CC-NIC, unoptimized-UPI, or PCIe —
+            they share the same burst API).
+        pkt_size: Payload bytes per packet.
+        n_packets: Packets to send and receive before stopping.
+        tx_batch: Packets submitted per burst.
+        rx_batch: Maximum packets polled per burst.
+        inflight: Closed-loop window (None for pure open loop).
+        offered_mpps: Open-loop offered rate (None for closed loop).
+        warmup_fraction: Leading fraction of packets excluded from the
+            latency histogram and rate window.
+        arrivals: Open-loop arrival process: "paced" (deterministic
+            inter-burst gaps) or "poisson" (exponential gaps — burstier,
+            with a heavier queueing tail at the same mean rate).
+        seed: RNG seed for stochastic arrival processes.
+    """
+
+    def __init__(
+        self,
+        driver,
+        pkt_size: int,
+        n_packets: int,
+        tx_batch: int = 32,
+        rx_batch: int = 32,
+        inflight: Optional[int] = None,
+        offered_mpps: Optional[float] = None,
+        warmup_fraction: float = 0.1,
+        arrivals: str = "paced",
+        seed: int = 0,
+    ) -> None:
+        if n_packets <= 0:
+            raise WorkloadError("n_packets must be positive")
+        if inflight is None and offered_mpps is None:
+            raise WorkloadError("need a closed-loop window or an offered rate")
+        if inflight is not None and inflight <= 0:
+            raise WorkloadError("inflight must be positive")
+        if offered_mpps is not None and offered_mpps <= 0:
+            raise WorkloadError("offered_mpps must be positive")
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise WorkloadError("warmup_fraction must be in [0, 1)")
+        if arrivals not in ("paced", "poisson"):
+            raise WorkloadError(f"unknown arrival process {arrivals!r}")
+        self.arrivals = arrivals
+        self._rng = make_rng(seed, "trafficgen")
+        self.driver = driver
+        self.pkt_size = pkt_size
+        self.n_packets = n_packets
+        self.tx_batch = tx_batch
+        self.rx_batch = rx_batch
+        self.inflight = inflight
+        self.offered_mpps = offered_mpps
+        self.warmup = int(n_packets * warmup_fraction)
+        self.result = LoopbackResult()
+        self.done = False
+
+    # ------------------------------------------------------------------
+    def run(self):
+        """Generator body: the application polling loop."""
+        system = self.driver.interface.system
+        sim = system.sim
+        result = self.result
+        interval = None
+        if self.offered_mpps is not None:
+            interval = 1e3 / self.offered_mpps  # ns per packet
+        next_send = 0.0
+        pending: List[Tuple] = []  # (buffer, packet) ready to submit
+
+        while result.received < self.n_packets:
+            ns = system.cycles(APP_CYCLES_PER_LOOP)
+            outstanding = result.sent - result.received
+
+            # ---- Prepare and submit TX.
+            can_send = result.sent < self.n_packets and not pending
+            if can_send and self.inflight is not None:
+                can_send = outstanding < self.inflight
+            if can_send and interval is not None:
+                can_send = sim.now >= next_send
+            if can_send:
+                burst = min(self.tx_batch, self.n_packets - result.sent)
+                if self.inflight is not None:
+                    burst = min(burst, self.inflight - outstanding)
+                sizes = [self.pkt_size] * burst
+                bufs, cost = self.driver.alloc(sizes)
+                ns += cost
+                ns += self.driver.write_payloads([(buf, self.pkt_size) for buf in bufs])
+                for buf in bufs:
+                    ns += system.cycles(APP_CYCLES_PER_PKT)
+                    pkt = Packet(size=self.pkt_size, tx_ns=sim.now + ns)
+                    pending.append((buf, pkt))
+                if interval is not None and bufs:
+                    if next_send < sim.now - interval * burst:
+                        next_send = sim.now  # don't accumulate unbounded debt
+                    if self.arrivals == "poisson":
+                        # Exponential inter-arrival per packet, summed
+                        # over the burst: same mean rate, bursty.
+                        gap = sum(
+                            self._rng.expovariate(1.0) * interval
+                            for _ in range(burst)
+                        )
+                        next_send += gap
+                    else:
+                        next_send += interval * burst
+
+            if pending:
+                sent, cost = self.driver.tx_burst(pending, base_ns=ns)
+                ns += cost
+                if sent:
+                    result.sent += sent
+                    del pending[:sent]
+                if pending:
+                    result.backpressure_events += 1
+
+            # ---- Receive.
+            received, cost = self.driver.rx_burst(self.rx_batch)
+            ns += cost
+            if received:
+                bufs_to_free = []
+                ns += self.driver.read_payloads([buf for _pkt, buf in received])
+                for pkt, buf in received:
+                    ns += system.cycles(APP_CYCLES_PER_PKT)
+                    pkt.rx_ns = sim.now + ns
+                    result.received += 1
+                    result.bytes_received += pkt.size
+                    bufs_to_free.append(buf)
+                    if result.received > self.warmup:
+                        result.latency.record(pkt.latency_ns)
+                        if result._measured == 0:
+                            result.window_start_ns = sim.now + ns
+                        result._measured += 1
+                        result._measured_bytes += pkt.size
+                        result.window_end_ns = sim.now + ns
+                ns += self.driver.free(bufs_to_free)
+
+            ns += self.driver.housekeeping()
+            yield max(ns, 1.0)
+        self.done = True
+
+
+def run_loopback(
+    system,
+    driver,
+    pkt_size: int,
+    n_packets: int,
+    tx_batch: int = 32,
+    rx_batch: int = 32,
+    inflight: Optional[int] = None,
+    offered_mpps: Optional[float] = None,
+    max_sim_ns: float = 1e9,
+    arrivals: str = "paced",
+    seed: int = 0,
+) -> LoopbackResult:
+    """Convenience wrapper: spawn one app on a started interface and run."""
+    app = LoopbackApp(
+        driver,
+        pkt_size=pkt_size,
+        n_packets=n_packets,
+        tx_batch=tx_batch,
+        rx_batch=rx_batch,
+        inflight=inflight,
+        offered_mpps=offered_mpps,
+        arrivals=arrivals,
+        seed=seed,
+    )
+    system.sim.spawn(app.run(), name="loopback-app")
+    system.sim.run(until=max_sim_ns, stop_when=lambda: app.done)
+    return app.result

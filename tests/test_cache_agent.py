@@ -1,0 +1,87 @@
+"""Per-agent cache tag model."""
+
+import pytest
+
+from repro.coherence import CacheAgent, LineState
+from repro.errors import CoherenceError
+
+
+class TestLineState:
+    def test_writable(self):
+        assert LineState.MODIFIED.is_writable
+        assert LineState.EXCLUSIVE.is_writable
+        assert not LineState.SHARED.is_writable
+        assert not LineState.FORWARD.is_writable
+
+    def test_dirty(self):
+        assert LineState.MODIFIED.is_dirty
+        assert not LineState.EXCLUSIVE.is_dirty
+
+    def test_forwarding(self):
+        assert LineState.MODIFIED.can_forward
+        assert LineState.EXCLUSIVE.can_forward
+        assert LineState.FORWARD.can_forward
+        assert not LineState.SHARED.can_forward
+
+
+class TestCacheAgent:
+    def test_lookup_miss_returns_none(self):
+        agent = CacheAgent("a", socket=0)
+        assert agent.lookup(5) is None
+
+    def test_set_and_lookup(self):
+        agent = CacheAgent("a", socket=0)
+        agent.set_state(5, LineState.MODIFIED)
+        assert agent.lookup(5) is LineState.MODIFIED
+        assert agent.holds(5)
+        assert len(agent) == 1
+
+    def test_drop(self):
+        agent = CacheAgent("a", socket=0)
+        agent.set_state(5, LineState.SHARED)
+        assert agent.drop(5) is LineState.SHARED
+        assert agent.drop(5) is None
+        assert not agent.holds(5)
+
+    def test_lru_eviction_order(self):
+        agent = CacheAgent("a", socket=0, capacity_lines=2)
+        agent.set_state(1, LineState.EXCLUSIVE)
+        agent.set_state(2, LineState.EXCLUSIVE)
+        # Touch line 1 so line 2 becomes LRU.
+        agent.lookup(1)
+        agent.set_state(3, LineState.EXCLUSIVE)
+        victim = agent.evict_victim()
+        assert victim == (2, LineState.EXCLUSIVE)
+        assert agent.evictions == 1
+
+    def test_no_eviction_within_capacity(self):
+        agent = CacheAgent("a", socket=0, capacity_lines=4)
+        agent.set_state(1, LineState.SHARED)
+        assert agent.evict_victim() is None
+
+    def test_peek_does_not_touch_lru(self):
+        agent = CacheAgent("a", socket=0, capacity_lines=2)
+        agent.set_state(1, LineState.EXCLUSIVE)
+        agent.set_state(2, LineState.EXCLUSIVE)
+        agent.peek(1)  # must NOT refresh line 1
+        agent.set_state(3, LineState.EXCLUSIVE)
+        assert agent.evict_victim()[0] == 1
+
+    def test_clear(self):
+        agent = CacheAgent("a", socket=0)
+        agent.set_state(1, LineState.MODIFIED)
+        agent.stream_state[0] = 5
+        agent.clear()
+        assert len(agent) == 0
+        assert agent.stream_state == {}
+
+    def test_bad_capacity(self):
+        with pytest.raises(CoherenceError):
+            CacheAgent("a", socket=0, capacity_lines=0)
+
+    def test_lines_iterates_lru_first(self):
+        agent = CacheAgent("a", socket=0)
+        agent.set_state(1, LineState.SHARED)
+        agent.set_state(2, LineState.SHARED)
+        agent.lookup(1)
+        assert list(agent.lines()) == [2, 1]

@@ -1,0 +1,201 @@
+"""End-to-end CC-NIC interface behaviour over the simulated platform."""
+
+import pytest
+
+from repro.core import CcnicConfig, CcnicInterface, DescLayout
+from repro.core.api import buf_alloc, buf_free, rx_burst, tx_burst
+from repro.errors import NicError
+from repro.nicmodels import unoptimized_upi_config
+from repro.platform import System, icx
+from repro.workloads.packets import Packet
+from repro.workloads.trafficgen import run_loopback
+
+
+def make(config=None):
+    system = System(icx())
+    nic = CcnicInterface(system, config or CcnicConfig())
+    driver = nic.driver(0)
+    nic.start()
+    return system, nic, driver
+
+
+class TestLoopback:
+    def test_every_packet_comes_back(self):
+        system, _nic, driver = make()
+        result = run_loopback(system, driver, pkt_size=64, n_packets=500,
+                              inflight=32, tx_batch=8, rx_batch=8)
+        assert result.sent == result.received == 500
+
+    def test_latency_reasonable_for_icx(self):
+        system, _nic, driver = make()
+        result = run_loopback(system, driver, pkt_size=64, n_packets=800,
+                              inflight=1, tx_batch=1, rx_batch=1)
+        # Paper: 490ns minimum on ICX; the model should land within 25%.
+        assert 380 <= result.latency.minimum <= 640
+
+    def test_large_packets(self):
+        system, _nic, driver = make()
+        result = run_loopback(system, driver, pkt_size=1500, n_packets=300,
+                              inflight=16, tx_batch=8, rx_batch=8)
+        assert result.received == 300
+        assert result.gbps > 0
+
+    def test_batched_counters_match_paper_shape(self):
+        """Fig 17: batched CC-NIC does ~1.25 remote reads and ~0.25
+        RFOs per packet on the NIC socket."""
+        system, _nic, driver = make()
+        result = run_loopback(system, driver, pkt_size=64, n_packets=4000,
+                              inflight=128, tx_batch=32, rx_batch=32)
+        counters = system.fabric.snapshot_counters()
+        reads_per_pkt = counters.get("s1.read", 0) / result.received
+        rfos_per_pkt = counters.get("s1.rfo", 0) / result.received
+        assert 1.0 <= reads_per_pkt <= 1.6
+        assert 0.15 <= rfos_per_pkt <= 0.5
+
+    def test_buffers_conserved(self):
+        system, nic, driver = make()
+        run_loopback(system, driver, pkt_size=64, n_packets=400,
+                     inflight=16, tx_batch=4, rx_batch=4)
+        host_stack = nic.pool.stack_depth(driver.agent, small=True)
+        nic_agent = nic.pair(0).agent.agent
+        nic_stack = nic.pool.stack_depth(nic_agent, small=True)
+        # Everything allocated has been freed back somewhere.
+        assert host_stack + nic_stack > 0
+        counters = nic.pool.stats
+        assert counters.get("alloc_bufs") == counters.get("free_bufs")
+
+
+class TestAblations:
+    def test_register_signaling_still_works(self):
+        config = CcnicConfig(inline_signals=False, desc_layout=DescLayout.PACK)
+        system, _nic, driver = make(config)
+        result = run_loopback(system, driver, pkt_size=64, n_packets=300,
+                              inflight=16, tx_batch=8, rx_batch=8)
+        assert result.received == 300
+
+    def test_register_signaling_is_slower(self):
+        base_sys, _n1, base_drv = make()
+        base = run_loopback(base_sys, base_drv, pkt_size=64, n_packets=600,
+                            inflight=1, tx_batch=1, rx_batch=1)
+        config = CcnicConfig(inline_signals=False)
+        reg_sys, _n2, reg_drv = make(config)
+        reg = run_loopback(reg_sys, reg_drv, pkt_size=64, n_packets=600,
+                           inflight=1, tx_batch=1, rx_batch=1)
+        assert reg.latency.minimum > base.latency.minimum
+
+    def test_host_only_buffer_management(self):
+        config = CcnicConfig(nic_buffer_mgmt=False)
+        system, _nic, driver = make(config)
+        result = run_loopback(system, driver, pkt_size=64, n_packets=400,
+                              inflight=16, tx_batch=8, rx_batch=8)
+        assert result.received == 400
+
+    def test_unopt_config_is_complete_inverse(self):
+        config = unoptimized_upi_config()
+        assert not config.inline_signals
+        assert not config.buf_recycling
+        assert not config.nic_buffer_mgmt
+        assert not config.small_buffers
+        assert not config.nonseq_alloc
+        assert not config.writer_homed_rings
+        assert config.desc_layout is DescLayout.PACK
+
+    def test_unopt_baseline_runs_and_is_slower(self):
+        fast_sys, _n1, fast_drv = make()
+        fast = run_loopback(fast_sys, fast_drv, pkt_size=64, n_packets=600,
+                            inflight=1, tx_batch=1, rx_batch=1)
+        slow_sys, _n2, slow_drv = make(unoptimized_upi_config())
+        slow = run_loopback(slow_sys, slow_drv, pkt_size=64, n_packets=600,
+                            inflight=1, tx_batch=1, rx_batch=1)
+        # Paper: unopt has 2.1x the minimum latency of CC-NIC.
+        assert slow.latency.minimum > 1.5 * fast.latency.minimum
+
+    def test_nt_stores_config(self):
+        config = CcnicConfig(caching_stores=False)
+        system, _nic, driver = make(config)
+        result = run_loopback(system, driver, pkt_size=64, n_packets=300,
+                              inflight=16, tx_batch=8, rx_batch=8)
+        assert result.received == 300
+
+
+class TestMultiSegment:
+    def test_chained_buffer_transmits_once(self):
+        system, nic, driver = make()
+        bufs, _ = driver.alloc([4096, 4096])
+        head, seg = bufs
+        driver.write_payload(head, 64)
+        driver.write_payload(seg, 1000)
+        head.chain(seg)
+        pkt = Packet(size=1064)
+        sent, _ = driver.tx_burst([(head, pkt)])
+        assert sent == 1
+        # Drive the sim until the packet loops back.
+        received = []
+        def app():
+            while not received:
+                got, ns = driver.rx_burst(4)
+                received.extend(got)
+                yield max(ns, 1.0)
+        system.sim.spawn(app(), "app")
+        system.sim.run(until=1e7, stop_when=lambda: bool(received))
+        assert received[0][0] is pkt
+
+
+class TestApiFunctions:
+    def test_fig5_api_round_trip(self):
+        system, nic, driver = make()
+        bufs, ns = buf_alloc(nic.pool, driver.agent, 2, [64, 64])
+        assert len(bufs) == 2 and ns > 0
+        for buf in bufs:
+            driver.write_payload(buf, 64)
+        entries = [(b, Packet(size=64)) for b in bufs]
+        sent, _ = tx_burst(driver, entries)
+        assert sent == 2
+        got = []
+        def app():
+            while len(got) < 2:
+                pkts, ns2 = rx_burst(driver, 4)
+                got.extend(pkts)
+                yield max(ns2, 1.0)
+        system.sim.spawn(app(), "app")
+        system.sim.run(until=1e7, stop_when=lambda: len(got) >= 2)
+        assert len(got) == 2
+        ns = buf_free(nic.pool, driver.agent, [b for _p, b in got])
+        assert ns > 0
+
+    def test_buf_alloc_count_mismatch(self):
+        _system, nic, driver = make()
+        with pytest.raises(ValueError):
+            buf_alloc(nic.pool, driver.agent, 2, [64])
+
+
+class TestInterfaceLifecycle:
+    def test_cannot_add_queue_after_start(self):
+        system = System(icx())
+        nic = CcnicInterface(system)
+        nic.driver(0)
+        nic.start()
+        with pytest.raises(NicError):
+            nic.pair(1)
+
+    def test_double_start_rejected(self):
+        system = System(icx())
+        nic = CcnicInterface(system)
+        nic.driver(0)
+        nic.start()
+        with pytest.raises(NicError):
+            nic.start()
+
+    def test_writer_homing_applied(self):
+        system = System(icx())
+        nic = CcnicInterface(system, CcnicConfig())
+        pair = nic.pair(0)
+        assert pair.tx.region.home == 0   # host-homed TX ring
+        assert pair.rx.region.home == 1   # NIC-homed RX ring
+
+    def test_homing_disabled_puts_all_on_host(self):
+        system = System(icx())
+        nic = CcnicInterface(system, CcnicConfig(writer_homed_rings=False))
+        pair = nic.pair(0)
+        assert pair.tx.region.home == 1
+        assert pair.rx.region.home == 0

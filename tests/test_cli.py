@@ -1,0 +1,61 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("loopback", "microbench", "counters", "kv", "rpc", "table1"):
+            args = parser.parse_args([command] if command != "loopback"
+                                     else ["loopback", "--packets", "10"])
+            assert args.command == command
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["loopback", "--platform", "haswell"])
+
+    def test_unknown_interface_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["loopback", "--interface", "rdma"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Sapphire Rapids UPI" in out
+        assert "192" in out
+
+    def test_loopback_small(self, capsys):
+        assert main(["loopback", "--packets", "300", "--inflight", "8",
+                     "--batch", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "min latency" in out
+        assert "ccnic" in out
+
+    def test_loopback_open_loop(self, capsys):
+        assert main(["loopback", "--packets", "400", "--rate", "2.0",
+                     "--batch", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput [Mpps]" in out
+
+    def test_counters(self, capsys):
+        assert main(["counters", "--packets", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "read" in out
+
+    def test_loopback_same_socket(self, capsys):
+        assert main(["loopback", "--packets", "300", "--inflight", "4",
+                     "--batch", "4", "--same-socket"]) == 0
+        assert "loopback" in capsys.readouterr().out
+
+
+class TestValidateCommand:
+    def test_fast_validate(self, capsys):
+        assert main(["validate", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "calibration OK" in out
+        assert "fig7" in out

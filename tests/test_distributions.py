@@ -1,0 +1,92 @@
+"""Workload distributions: Ads/Geo object sizes and Zipf keys."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.rng import make_rng
+from repro.workloads import AdsObjectSizes, GeoObjectSizes, ObjectSizeDistribution, ZipfKeys
+
+
+class TestObjectSizes:
+    def test_ads_small_object_fraction(self):
+        """Paper: 61% of Ads objects are under 100B."""
+        dist = AdsObjectSizes()
+        frac = dist.fraction_below(100, make_rng(1, "ads"))
+        assert 0.55 <= frac <= 0.67
+
+    def test_geo_small_object_fraction(self):
+        """Paper: 13% of Geo objects are under 100B."""
+        dist = GeoObjectSizes()
+        frac = dist.fraction_below(100, make_rng(1, "geo"))
+        assert 0.09 <= frac <= 0.18
+
+    def test_sizes_capped_at_mtu(self):
+        rng = make_rng(2, "cap")
+        for dist in (AdsObjectSizes(), GeoObjectSizes()):
+            sizes = [dist.sample(rng) for _ in range(5000)]
+            assert max(sizes) <= 9600
+            assert min(sizes) >= 1
+
+    def test_geo_skews_larger_than_ads(self):
+        rng_a = make_rng(3, "a")
+        rng_g = make_rng(3, "g")
+        ads = sum(AdsObjectSizes().sample(rng_a) for _ in range(5000))
+        geo = sum(GeoObjectSizes().sample(rng_g) for _ in range(5000))
+        assert geo > ads
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ObjectSizeDistribution("bad", [], 9600)
+        with pytest.raises(WorkloadError):
+            ObjectSizeDistribution("bad", [(0.5, 100)], 9600)  # cum != 1
+        with pytest.raises(WorkloadError):
+            ObjectSizeDistribution("bad", [(1.5, 100)], 9600)
+
+
+class TestZipf:
+    def test_skew(self):
+        """With coefficient 0.75, the hottest keys dominate."""
+        keys = ZipfKeys(1000, 0.75)
+        assert keys.hottest_fraction(10) > 10 / 1000 * 3
+
+    def test_samples_in_range(self):
+        keys = ZipfKeys(100, 0.75)
+        rng = make_rng(4, "zipf")
+        samples = [keys.sample(rng) for _ in range(2000)]
+        assert all(0 <= s < 100 for s in samples)
+
+    def test_low_keys_more_popular(self):
+        keys = ZipfKeys(100, 0.75)
+        rng = make_rng(5, "zipf2")
+        samples = [keys.sample(rng) for _ in range(20000)]
+        first_decile = sum(1 for s in samples if s < 10)
+        last_decile = sum(1 for s in samples if s >= 90)
+        assert first_decile > 3 * last_decile
+
+    def test_uniform_when_coefficient_zero(self):
+        keys = ZipfKeys(10, 0.0)
+        assert keys.hottest_fraction(1) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ZipfKeys(0)
+        with pytest.raises(WorkloadError):
+            ZipfKeys(10, -1.0)
+
+    def test_hottest_fraction_bounds(self):
+        keys = ZipfKeys(10, 0.75)
+        assert keys.hottest_fraction(0) == 0.0
+        assert keys.hottest_fraction(10) == pytest.approx(1.0)
+        assert keys.hottest_fraction(100) == pytest.approx(1.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = [AdsObjectSizes().sample(make_rng(9, "x")) for _ in range(10)]
+        b = [AdsObjectSizes().sample(make_rng(9, "x")) for _ in range(10)]
+        assert a == b
+
+    def test_labels_give_independent_streams(self):
+        rng1 = make_rng(9, "one")
+        rng2 = make_rng(9, "two")
+        assert [rng1.random() for _ in range(5)] != [rng2.random() for _ in range(5)]

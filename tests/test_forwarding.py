@@ -1,0 +1,52 @@
+"""Network-function forwarding app (§6 extension)."""
+
+import pytest
+
+from repro.analysis.loopback import InterfaceKind, build_interface
+from repro.apps.forwarding import HEADER_BYTES, ForwardingApp
+from repro.errors import WorkloadError
+from repro.platform import icx
+
+
+def make(header_only, pkt_size=1500, n_packets=400):
+    setup = build_interface(icx(), InterfaceKind.CCNIC)
+    return ForwardingApp(setup, pkt_size, n_packets, header_only=header_only,
+                         offered_mpps=10.0)
+
+
+class TestForwarding:
+    def test_all_packets_forwarded(self):
+        app = make(header_only=True)
+        result = app.run()
+        assert result.forwarded == 400
+
+    def test_full_payload_mode(self):
+        app = make(header_only=False, n_packets=300)
+        result = app.run()
+        assert result.forwarded == 300
+
+    def test_header_only_moves_less_wire_data(self):
+        header = make(header_only=True, n_packets=600).run()
+        full = make(header_only=False, n_packets=600).run()
+        assert header.wire_bytes_per_pkt < full.wire_bytes_per_pkt
+
+    def test_wire_bytes_accounted(self):
+        result = make(header_only=True).run()
+        assert result.wire_bytes_per_pkt > 0
+
+    def test_latency_recorded(self):
+        result = make(header_only=True).run()
+        assert result.latency.count > 0
+        assert result.latency.median > 0
+
+
+class TestValidation:
+    def test_packet_must_fit_header(self):
+        setup = build_interface(icx(), InterfaceKind.CCNIC)
+        with pytest.raises(WorkloadError):
+            ForwardingApp(setup, HEADER_BYTES - 1, 10, header_only=True)
+
+    def test_positive_packet_count(self):
+        setup = build_interface(icx(), InterfaceKind.CCNIC)
+        with pytest.raises(WorkloadError):
+            ForwardingApp(setup, 256, 0, header_only=True)

@@ -1,0 +1,151 @@
+"""Interconnect link cost model."""
+
+import pytest
+
+from repro.errors import InterconnectError
+from repro.interconnect import Link, MessageClass
+from repro.sim import Simulator
+
+
+def make_link(bw=64.0, latency=50.0, header=12):
+    sim = Simulator()
+    return sim, Link(sim, "test", latency_ns=latency, bandwidth_bytes_per_ns=bw, header_overhead=header)
+
+
+class TestOneWay:
+    def test_basic_cost(self):
+        _sim, link = make_link(bw=76.0, latency=50.0, header=12)
+        # READ carries a 64B line: wire = 76B at 76B/ns = 1ns ser.
+        cost = link.one_way(MessageClass.READ, direction=0)
+        assert cost == pytest.approx(50.0 + 1.0)
+
+    def test_control_message_payload_zero(self):
+        _sim, link = make_link(bw=12.0, latency=10.0, header=12)
+        cost = link.one_way(MessageClass.SNOOP, direction=0)
+        assert cost == pytest.approx(10.0 + 1.0)
+
+    def test_explicit_payload(self):
+        _sim, link = make_link(bw=100.0, latency=0.0, header=0)
+        cost = link.one_way(MessageClass.DMA_WRITE, direction=1, payload_bytes=1000)
+        assert cost == pytest.approx(10.0)
+
+    def test_invalid_direction(self):
+        _sim, link = make_link()
+        with pytest.raises(InterconnectError):
+            link.one_way(MessageClass.READ, direction=2)
+
+    def test_stats_accumulate(self):
+        _sim, link = make_link()
+        link.one_way(MessageClass.READ, direction=0)
+        link.one_way(MessageClass.RFO, direction=0)
+        assert link.stats[0].messages == 2
+        assert link.stats[0].by_class == {"read": 1, "rfo": 1}
+        assert link.stats[1].messages == 0
+
+
+class TestUtilizationQueue:
+    def test_no_queueing_when_idle(self):
+        _sim, link = make_link(bw=76.0)
+        wait = link.occupy(MessageClass.READ, direction=0)
+        assert wait == 0.0
+
+    def test_own_stream_never_self_queues(self):
+        _sim, link = make_link(bw=76.0)
+        waits = [
+            link.occupy(MessageClass.READ, direction=0, actor="a")
+            for _ in range(50)
+        ]
+        assert all(w == 0.0 for w in waits)
+
+    def test_competing_actors_wait(self):
+        sim, link = make_link(bw=76.0)
+        # Two heavy streams from distinct actors in the same window.
+        for _ in range(200):
+            link.occupy(MessageClass.READ, direction=0, actor="a")
+        wait = link.occupy(MessageClass.READ, direction=0, actor="b")
+        assert wait > 0.0
+
+    def test_wait_grows_with_competitor_load(self):
+        def pressure(n):
+            _sim, link = make_link(bw=76.0)
+            for _ in range(n):
+                link.occupy(MessageClass.READ, direction=0, actor="a")
+            return link.occupy(MessageClass.READ, direction=0, actor="b")
+        assert pressure(400) > pressure(20)
+
+    def test_rho_settles_after_window(self):
+        sim, link = make_link(bw=76.0)
+        for _ in range(300):
+            link.occupy(MessageClass.READ, direction=0, actor="a")
+        sim.now = link.WINDOW_NS + 1.0
+        link.occupy(MessageClass.READ, direction=0, actor="a")
+        assert link.rho(0) > 0.05
+
+    def test_directions_independent(self):
+        _sim, link = make_link(bw=76.0)
+        for _ in range(200):
+            link.occupy(MessageClass.READ, direction=0, actor="a")
+        wait = link.occupy(MessageClass.READ, direction=1, actor="b")
+        assert wait == 0.0
+
+    def test_inflate_consumes_more_bandwidth(self):
+        _sim, link = make_link(bw=76.0)
+        link.occupy(MessageClass.WRITEBACK, direction=0, inflate=2.0)
+        assert link.stats[0].wire_bytes == 152
+        with pytest.raises(InterconnectError):
+            link.occupy(MessageClass.WRITEBACK, direction=0, inflate=0.5)
+
+    def test_charge_queueing_false_still_consumes(self):
+        _sim, link = make_link(bw=76.0)
+        wait = link.occupy(MessageClass.PREFETCH, direction=0, charge_queueing=False)
+        assert wait == 0.0
+        assert link.stats[0].wire_bytes > 0
+
+
+class TestUtilities:
+    def test_round_trip(self):
+        _sim, link = make_link(bw=76.0, latency=50.0)
+        cost = link.round_trip(MessageClass.SNOOP, MessageClass.READ, direction=0)
+        # snoop: 12/76 ser + 50; read: 76/76 + 50.
+        assert cost == pytest.approx(50.0 + 12 / 76 + 50.0 + 1.0)
+
+    def test_utilization(self):
+        _sim, link = make_link(bw=76.0)
+        link.occupy(MessageClass.READ, direction=0)
+        assert link.utilization(0, 10.0) == pytest.approx(0.1)
+        assert link.utilization(0, 0.0) == 0.0
+
+    def test_scaled(self):
+        _sim, link = make_link(bw=10.0, latency=100.0)
+        link.scaled(latency_factor=2.0, bandwidth_factor=0.5)
+        assert link.latency_ns == 200.0
+        assert link.bandwidth == 5.0
+        with pytest.raises(InterconnectError):
+            link.scaled(latency_factor=0.0)
+
+    def test_reset_stats(self):
+        _sim, link = make_link()
+        link.one_way(MessageClass.READ, direction=0)
+        link.reset_stats()
+        assert link.total_wire_bytes() == 0
+
+    def test_bad_construction(self):
+        sim = Simulator()
+        with pytest.raises(InterconnectError):
+            Link(sim, "bad", latency_ns=-1, bandwidth_bytes_per_ns=1)
+        with pytest.raises(InterconnectError):
+            Link(sim, "bad", latency_ns=1, bandwidth_bytes_per_ns=0)
+
+
+class TestMessageClass:
+    def test_line_carriers(self):
+        assert MessageClass.READ.carries_line
+        assert MessageClass.RFO.carries_line
+        assert MessageClass.WRITEBACK.carries_line
+        assert not MessageClass.SNOOP.carries_line
+        assert not MessageClass.ACK.carries_line
+
+    def test_payload_override(self):
+        assert MessageClass.DMA_READ.payload_bytes(4096) == 4096
+        assert MessageClass.READ.payload_bytes() == 64
+        assert MessageClass.SNOOP.payload_bytes() == 0

@@ -1,0 +1,56 @@
+"""Additional microbenchmark-harness behaviours."""
+
+import pytest
+
+from repro.analysis.microbench import (
+    pingpong,
+    stream_throughput,
+    wc_write_throughput,
+)
+from repro.platform import icx, spr
+
+
+class TestStream:
+    def test_throughput_positive_and_bounded(self):
+        gbps = stream_throughput(icx(), pairs=1, caching=True, chunks=4)
+        assert 0 < gbps < 443.0 * 1.2
+
+    def test_more_pairs_more_throughput_caching(self):
+        one = stream_throughput(icx(), 1, caching=True, chunks=4)
+        four = stream_throughput(icx(), 4, caching=True, chunks=4)
+        assert four > 1.8 * one
+
+    def test_caching_beats_nt_per_pair(self):
+        caching = stream_throughput(icx(), 1, caching=True, chunks=4)
+        nt = stream_throughput(icx(), 1, caching=False, chunks=4)
+        assert caching > nt
+
+    def test_spr_outpaces_icx(self):
+        """The terabit interconnect and wider cores stream faster."""
+        assert stream_throughput(spr(), 4, True, chunks=4) > \
+            stream_throughput(icx(), 4, True, chunks=4)
+
+
+class TestWcThroughputShape:
+    def test_monotonic_in_barrier_size(self):
+        values = [wc_write_throughput(icx(), "wc_mmio", s)
+                  for s in (64, 256, 1024, 4096)]
+        assert values == sorted(values)
+
+    def test_wc_dram_beats_wc_mmio(self):
+        for barrier in (256, 2048):
+            assert wc_write_throughput(icx(), "wc_dram", barrier) >= \
+                wc_write_throughput(icx(), "wc_mmio", barrier)
+
+
+class TestPingpongShape:
+    def test_spr_slower_than_icx(self):
+        """SPR's higher remote latencies show up in the pingpong."""
+        assert pingpong(spr(), "S0C", 60).median > pingpong(icx(), "S0C", 60).median
+
+    def test_rtt_positive_and_stable(self):
+        h = pingpong(icx(), "S0", 80)
+        assert h.minimum > 0
+        # Steady state: the upper half of the distribution is tight
+        # (the first iterations are cheaper while caches warm).
+        assert h.percentile(90) < 1.2 * h.median

@@ -1,0 +1,24 @@
+"""Overlay deployment profiling (§4 / Fig 19's UPI 1-1 series)."""
+
+from repro.apps.kvstore import KvWorkload
+from repro.apps.overlay import OverlayProfile, measure_overlay_profile
+from repro.platform import icx
+
+
+class TestOverlayProfile:
+    def test_one_to_one_is_min_of_stages(self):
+        profile = OverlayProfile(app_mops=10.0, overlay_mops=4.0)
+        assert profile.one_to_one_mops == 4.0
+        profile = OverlayProfile(app_mops=3.0, overlay_mops=8.0)
+        assert profile.one_to_one_mops == 3.0
+
+    def test_measured_profile_has_both_stages(self):
+        profile = measure_overlay_profile(icx(), KvWorkload.ads(), n_ops=600)
+        assert profile.app_mops > 0
+        assert profile.overlay_mops > 0
+
+    def test_one_to_one_limited_by_slower_stage(self):
+        """The paper's UPI 1-1 series is capped by overlay threads."""
+        profile = measure_overlay_profile(icx(), KvWorkload.ads(), n_ops=600)
+        assert profile.one_to_one_mops <= profile.app_mops
+        assert profile.one_to_one_mops <= profile.overlay_mops

@@ -1,0 +1,137 @@
+"""PCIe substrate: write-combining buffers, MMIO, DMA."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pcie import DmaEngine, MmioPath, WcBufferFile
+from repro.platform import E810, System, icx
+
+
+class TestWcBufferFile:
+    def test_store_to_open_buffer_is_cheap(self):
+        wc = WcBufferFile(n_buffers=4)
+        assert wc.store(0, 4) == pytest.approx(wc.store_cost_ns)
+        assert wc.open_buffers == 1
+
+    def test_full_line_flushes(self):
+        wc = WcBufferFile(n_buffers=4)
+        wc.store(0, 64)
+        assert wc.flushes == 1
+        assert wc.open_buffers == 0
+
+    def test_sequential_fill_flushes(self):
+        wc = WcBufferFile(n_buffers=4)
+        for i in range(8):
+            wc.store(i * 8, 8)
+        assert wc.flushes == 1
+        assert wc.open_buffers == 0
+
+    def test_eviction_cliff_when_file_full(self):
+        """Fig 3: stores are fast until all buffers are open, then each
+        new region stalls on an eviction flush."""
+        wc = WcBufferFile(n_buffers=4, evict_stall_ns=500.0)
+        costs = [wc.store(i * 128, 4) for i in range(8)]
+        assert all(c < 20 for c in costs[:4])
+        assert all(c >= 500 for c in costs[4:])
+        assert wc.evictions == 4
+
+    def test_sfence_drains_everything(self):
+        wc = WcBufferFile(n_buffers=8)
+        for i in range(3):
+            wc.store(i * 128, 4)
+        cost = wc.sfence()
+        assert cost >= wc.fence_ns + 3 * wc.full_flush_ns
+        assert wc.open_buffers == 0
+
+    def test_sfence_empty_is_just_fence(self):
+        wc = WcBufferFile()
+        assert wc.sfence() == pytest.approx(wc.fence_ns)
+
+    def test_multiline_store_splits(self):
+        wc = WcBufferFile(n_buffers=8)
+        wc.store(32, 64)  # crosses a line boundary
+        assert wc.open_buffers == 2
+
+    def test_bad_params(self):
+        with pytest.raises(ConfigError):
+            WcBufferFile(n_buffers=0)
+        wc = WcBufferFile()
+        with pytest.raises(ConfigError):
+            wc.store(0, 0)
+
+
+class TestMmioPath:
+    def test_read_latency_matches_calibration(self):
+        mmio = MmioPath(E810)
+        assert mmio.read(8) == pytest.approx(982.0)
+        assert mmio.read(64) == pytest.approx(982.0 + 56 * 0.8)
+
+    def test_uc_write_cost(self):
+        mmio = MmioPath(E810, uc_store_ns=90.0)
+        assert mmio.uc_write(4) == pytest.approx(90.0)
+        assert mmio.uc_writes == 1
+
+    def test_wc_path_wired_to_spec(self):
+        mmio = MmioPath(E810)
+        assert mmio.wc.n_buffers == E810.wc_buffers
+        assert mmio.wc.evict_stall_ns == E810.wc_evict_stall_ns
+
+    def test_bad_sizes(self):
+        mmio = MmioPath(E810)
+        with pytest.raises(ConfigError):
+            mmio.read(0)
+        with pytest.raises(ConfigError):
+            mmio.uc_write(0)
+
+
+class TestDmaEngine:
+    def make(self):
+        system = System(icx())
+        from repro.interconnect import Link
+
+        link = Link(system.sim, "pcie", latency_ns=450.0,
+                    bandwidth_bytes_per_ns=31.5, header_overhead=24)
+        return system, DmaEngine(system, E810, link)
+
+    def test_read_full_round_trip(self):
+        system, dma = self.make()
+        region = system.alloc_host("buf", 4096)
+        cost = dma.read(region.base, 512)
+        assert cost >= E810.dma_rtt_ns
+
+    def test_pipelined_read_hides_rtt(self):
+        system, dma = self.make()
+        region = system.alloc_host("buf", 4096)
+        full = dma.read(region.base, 512)
+        pipelined = dma.read(region.base + 512, 512, pipelined=True)
+        assert pipelined < full - E810.dma_rtt_ns / 2
+
+    def test_write_is_posted(self):
+        system, dma = self.make()
+        region = system.alloc_host("buf", 4096)
+        cost = dma.write(region.base, 512)
+        assert cost < E810.dma_rtt_ns / 2
+
+    def test_ddio_installs_into_host_llc(self):
+        """After a DMA write, a host core read is a local cache hit."""
+        system, dma = self.make()
+        region = system.alloc_host("buf", 4096)
+        host = system.new_host_core("h")
+        dma.write(region.base, 64)
+        latency = system.fabric.read(host, region.base, 64)
+        assert latency == pytest.approx(system.cost.local_cache)
+
+    def test_dma_write_invalidates_host_copies(self):
+        system, dma = self.make()
+        region = system.alloc_host("buf", 4096)
+        host = system.new_host_core("h")
+        system.fabric.write(host, region.base, 64)
+        dma.write(region.base, 64)
+        assert not host.holds(region.base // 64)
+
+    def test_bad_sizes(self):
+        _system, dma = self.make()
+        with pytest.raises(ConfigError):
+            dma.read(0, 0)
+        with pytest.raises(ConfigError):
+            dma.write(0, -1)

@@ -1,0 +1,153 @@
+"""Platform presets, Table 1 data, and the system builder."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem import MemType
+from repro.platform import (
+    CX6,
+    E810,
+    LINK_GENERATIONS,
+    System,
+    icx,
+    spr,
+    table1_rows,
+)
+
+
+class TestPresets:
+    def test_icx_matches_paper_calibration(self):
+        spec = icx()
+        assert spec.cores_per_socket == 16
+        assert spec.freq_ghz == 3.1
+        assert spec.cost.local_dram == 72.0
+        assert spec.cost.remote_dram == 144.0
+        assert spec.cost.remote_cache_writer_homed == 114.0
+        assert spec.cost.remote_cache_reader_homed == 119.0
+        assert spec.upi_data_gbps == 443.0
+
+    def test_spr_matches_paper_calibration(self):
+        spec = spr()
+        assert spec.cores_per_socket == 56
+        assert spec.cost.local_dram == 108.0
+        assert spec.cost.remote_dram == 191.0
+        assert spec.cost.remote_cache_writer_homed == 171.0
+        assert spec.upi_data_gbps == 1020.0
+
+    def test_l2_lines(self):
+        assert icx().l2_lines == 1_310_720 // 64
+        assert spr().l2_lines == 2 * 1024 * 1024 // 64
+
+    def test_wire_rate_exceeds_data_rate(self):
+        spec = icx()
+        assert spec.upi_wire_bytes_per_ns > spec.upi_data_gbps / 8.0
+
+    def test_nic_lookup(self):
+        spec = icx()
+        assert spec.nic("e810") is E810
+        assert spec.nic("CX6") is CX6
+        with pytest.raises(ConfigError):
+            spec.nic("cx7")
+
+    def test_cycles_to_ns_uses_ipc(self):
+        spec = spr()
+        assert spec.cycles_to_ns(spec.freq_ghz * spec.ipc) == pytest.approx(1.0)
+
+    def test_with_cost_replaces(self):
+        spec = icx()
+        scaled = spec.with_cost(spec.cost.scaled_remote(2.0))
+        assert scaled.cost.remote_dram == 288.0
+        assert scaled.cost.local_dram == 72.0
+        assert spec.cost.remote_dram == 144.0  # original untouched
+
+
+class TestTable1:
+    def test_row_count(self):
+        assert len(LINK_GENERATIONS) == 5
+        assert len(table1_rows()) == 5
+
+    def test_paper_values(self):
+        rows = {r[0]: r for r in table1_rows()}
+        assert rows["PCIe 4.0"][3] == 31.5
+        assert rows["Ice Lake UPI"][3] == 67.2
+        assert rows["Sapphire Rapids UPI"][3] == 192.0
+
+    def test_upi_beats_contemporary_pcie(self):
+        rows = {r[0]: r for r in table1_rows()}
+        assert rows["Ice Lake UPI"][3] > rows["PCIe 4.0"][3]
+        assert rows["Sapphire Rapids UPI"][3] > rows["PCIe 5.0, CXL 1.0-2.0"][3]
+
+
+class TestNicSpecs:
+    def test_e810_calibration(self):
+        assert E810.mmio_read_rtt_ns == 982.0
+        assert not E810.inline_descriptors
+
+    def test_cx6_has_inline_path(self):
+        assert CX6.inline_descriptors
+        assert CX6.pps_capacity < E810.pps_capacity
+
+
+class TestSystem:
+    def test_sockets(self):
+        system = System(icx())
+        assert system.nic_socket == 1
+        host = system.new_host_core("h")
+        nic = system.new_nic_core("n")
+        assert host.socket == 0
+        assert nic.socket == 1
+
+    def test_same_socket_mode(self):
+        system = System(icx(), same_socket=True)
+        assert system.nic_socket == 0
+        nic = system.new_nic_core("n")
+        assert nic.socket == 0
+
+    def test_alloc_homing(self):
+        system = System(icx())
+        h = system.alloc_host("h", 64)
+        n = system.alloc_nic("n", 64)
+        assert h.home == 0
+        assert n.home == 1
+        assert h.memtype is MemType.WRITEBACK
+
+    def test_same_socket_alloc_nic_is_host_homed(self):
+        system = System(icx(), same_socket=True)
+        assert system.alloc_nic("n", 64).home == 0
+
+    def test_link_scaling_factors(self):
+        base = System(icx())
+        slow = System(icx(), link_latency_factor=1.5, link_bandwidth_factor=0.5)
+        assert slow.link.latency_ns == pytest.approx(base.link.latency_ns * 1.5)
+        assert slow.link.bandwidth == pytest.approx(base.link.bandwidth * 0.5)
+        assert slow.cost.remote_dram == pytest.approx(base.cost.remote_dram * 1.5)
+
+    def test_prefetch_flags(self):
+        system = System(icx(), prefetch_host=False, prefetch_nic=True)
+        assert not system.new_host_core("h").prefetch
+        assert system.new_nic_core("n").prefetch
+        # Explicit override wins.
+        assert system.new_host_core("h2", prefetch=True).prefetch
+
+
+class TestCxlProjection:
+    def test_cxl_preset_values(self):
+        from repro.platform import cxl, spr
+        c = cxl()
+        s = spr()
+        # Device-path latencies stretched into the CXL-expected range.
+        assert c.cost.remote_dram == pytest.approx(s.cost.remote_dram * 1.3)
+        assert 170 <= c.cost.remote_cache_writer_homed <= 250
+        # Host-local behaviour unchanged.
+        assert c.cost.local_dram == s.cost.local_dram
+        assert c.cost.l2_hit == s.cost.l2_hit
+        # CXL 2.0 x16 data rate from Table 1.
+        assert c.upi_data_gbps == 504.0
+
+    def test_cxl_system_builds_and_runs(self):
+        from repro.platform import cxl
+        system = System(cxl())
+        host = system.new_host_core("h")
+        region = system.alloc_nic("dev", 64)
+        latency = system.fabric.read(host, region.base, 64)
+        assert latency == pytest.approx(cxl().cost.remote_dram)

@@ -1,0 +1,35 @@
+"""Report builder formatting (the EXPERIMENTS.md generator)."""
+
+from repro.analysis.report import ReportBuilder
+
+
+class TestReportBuilder:
+    def test_heading_levels(self):
+        rb = ReportBuilder()
+        rb.heading("Top", level=1)
+        rb.heading("Sub")
+        out = rb.render()
+        assert "# Top" in out
+        assert "## Sub" in out
+
+    def test_table_markdown(self):
+        rb = ReportBuilder()
+        rb.table(["a", "b"], [[1, 2.5], ["x", 123.456]])
+        out = rb.render()
+        assert "| a | b |" in out
+        assert "|---|---|" in out
+        assert "| 1 | 2.5 |" in out
+        assert "| x | 123 |" in out
+
+    def test_para(self):
+        rb = ReportBuilder()
+        rb.para("hello world")
+        assert "hello world" in rb.render()
+
+    def test_float_formatting_thresholds(self):
+        rb = ReportBuilder()
+        rb.table(["v"], [[0.12345], [99.99], [1234.5]])
+        out = rb.render()
+        assert "0.123" in out
+        assert "100" in out       # 99.99 -> 3 significant digits
+        assert "1234" in out or "1235" in out

@@ -1,0 +1,121 @@
+"""Property-based tests on the descriptor rings and the buffer pool."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BufferPool, CcnicConfig
+from repro.core.config import DescLayout
+from repro.core.ring import CoherentQueue, WorkItem
+from repro.platform import System, icx
+
+
+def build_queue(layout, inline, slots=32):
+    system = System(icx())
+    queue = CoherentQueue(system, "q", layout=layout, inline_signals=inline,
+                          slots=slots, home_socket=0)
+    producer = system.new_host_core("p")
+    consumer = system.new_nic_core("c")
+    return system, queue, producer, consumer
+
+
+layout_strategy = st.sampled_from([
+    (DescLayout.OPT, True),
+    (DescLayout.PACK, True),
+    (DescLayout.PAD, True),
+    (DescLayout.PACK, False),
+    (DescLayout.PAD, False),
+])
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("produce"), st.integers(min_value=1, max_value=9)),
+        st.tuples(st.just("poll"), st.integers(min_value=1, max_value=12)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(layout=layout_strategy, ops=ops_strategy)
+def test_fifo_order_and_conservation(layout, ops):
+    """Whatever the layout and op sequence: items come out exactly once,
+    in FIFO order, and produced >= consumed always."""
+    desc_layout, inline = layout
+    system, queue, producer, consumer = build_queue(desc_layout, inline)
+    next_seq = 0
+    received = []
+    for op, count in ops:
+        if op == "produce":
+            items = [WorkItem(buf=None, length=64, pkt=next_seq + i)
+                     for i in range(count)]
+            accepted, ns = queue.produce(producer, items)
+            assert 0 <= accepted <= count
+            assert ns >= 0
+            next_seq += accepted
+            system.sim.now += ns + 1.0
+        else:
+            got, ns = queue.poll(consumer, count)
+            assert ns >= 0
+            received.extend(item.pkt for item in got)
+            system.sim.now += ns + 1.0
+        assert queue.consumed <= queue.produced
+    # Drain what remains.
+    for _ in range(64):
+        got, ns = queue.poll(consumer, 16)
+        system.sim.now += ns + 1.0
+        if not got:
+            break
+        received.extend(item.pkt for item in got)
+    assert received == list(range(len(received)))
+    assert len(received) == queue.consumed == queue.produced
+
+
+pool_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), st.integers(min_value=1, max_value=6),
+                  st.sampled_from([64, 128, 1500, 4096])),
+        st.tuples(st.just("free"), st.integers(min_value=1, max_value=6),
+                  st.just(0)),
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=pool_ops, recycling=st.booleans(), small=st.booleans())
+def test_pool_conservation(ops, recycling, small):
+    """Allocations and frees conserve buffers; no address is handed out
+    twice concurrently."""
+    system = System(icx())
+    config = CcnicConfig(pool_buffers=32, buf_recycling=recycling,
+                         small_buffers=small)
+    pool = BufferPool(system, config)
+    host = system.new_host_core("h")
+    held = []
+    live_addrs = set()
+    for op in ops:
+        if op[0] == "alloc":
+            _verb, count, size = op
+            bufs, ns = pool.alloc(host, [size] * count)
+            assert ns >= 0
+            for buf in bufs:
+                span = (buf.addr, buf.addr + buf.capacity)
+                for other in held:
+                    o_span = (other.addr, other.addr + other.capacity)
+                    assert span[1] <= o_span[0] or span[0] >= o_span[1], \
+                        "overlapping live buffers"
+                held.append(buf)
+                live_addrs.add(buf.addr)
+        else:
+            _verb, count, _ = op
+            to_free = held[:count]
+            del held[:count]
+            if to_free:
+                pool.free(host, to_free)
+                for buf in to_free:
+                    live_addrs.discard(buf.addr)
+    # Everything handed out is within the pool region.
+    for buf in held:
+        assert pool.region.contains(buf.addr, buf.capacity)

@@ -1,0 +1,77 @@
+"""Throughput-latency curve harness."""
+
+import pytest
+
+from repro.analysis import InterfaceKind
+from repro.analysis.scaling import (
+    ScalingModel,
+    build_scaling_model,
+    throughput_latency_curve,
+)
+from repro.errors import ConfigError
+from repro.platform import icx
+
+
+@pytest.fixture(scope="module")
+def ccnic_model():
+    return build_scaling_model(icx(), InterfaceKind.CCNIC, 64,
+                               n_packets=6000, inflight=256)
+
+
+class TestCurve:
+    def test_points_cover_fractions(self, ccnic_model):
+        points = throughput_latency_curve(
+            icx(), InterfaceKind.CCNIC, 64, cores=4,
+            fractions=[0.2, 0.8], n_packets=2500, model=ccnic_model,
+        )
+        assert len(points) == 2
+        assert points[0].offered_mpps < points[1].offered_mpps
+        assert all(p.cores == 4 for p in points)
+
+    def test_throughput_rises_with_offered_load(self, ccnic_model):
+        points = throughput_latency_curve(
+            icx(), InterfaceKind.CCNIC, 64, cores=2,
+            fractions=[0.2, 0.9], n_packets=2500, model=ccnic_model,
+        )
+        assert points[1].achieved_mpps > points[0].achieved_mpps
+
+    def test_achieved_never_exceeds_model_max(self, ccnic_model):
+        points = throughput_latency_curve(
+            icx(), InterfaceKind.CCNIC, 64, cores=4,
+            fractions=[0.97], n_packets=2500, model=ccnic_model,
+        )
+        assert points[0].achieved_mpps <= ccnic_model.max_mpps(4) * 1.001
+
+    def test_gbps_consistent_with_mpps(self, ccnic_model):
+        points = throughput_latency_curve(
+            icx(), InterfaceKind.CCNIC, 64, cores=1,
+            fractions=[0.5], n_packets=2000, model=ccnic_model,
+        )
+        point = points[0]
+        assert point.achieved_gbps == pytest.approx(
+            point.achieved_mpps * 64 * 8e-3
+        )
+
+    def test_zero_cores_rejected(self, ccnic_model):
+        with pytest.raises(ConfigError):
+            ccnic_model.max_mpps(0)
+
+
+class TestModelEdges:
+    def test_infinite_link_when_no_wire_bytes(self):
+        model = ScalingModel(
+            spec=icx(), kind=InterfaceKind.CCNIC, pkt_size=64,
+            per_queue_sat_mpps=10.0, wire_bytes_dir0=0.0, wire_bytes_dir1=0.0,
+            nic_pps_capacity=None, nic_line_gbps=None,
+        )
+        assert model.bottleneck_mpps() == float("inf")
+        assert model.shared_wait_ns(100.0) == 0.0
+
+    def test_line_rate_cap_applies(self):
+        model = ScalingModel(
+            spec=icx(), kind=InterfaceKind.CX6, pkt_size=1500,
+            per_queue_sat_mpps=50.0, wire_bytes_dir0=10.0, wire_bytes_dir1=10.0,
+            nic_pps_capacity=None, nic_line_gbps=200.0,
+        )
+        # 200Gbps / (1500B * 8) = 16.7 Mpps line-rate bound.
+        assert model.bottleneck_mpps() == pytest.approx(200.0 / (1500 * 8e-3))

@@ -1,0 +1,171 @@
+"""Discrete-event engine behaviour."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+    assert sim.pending == 0
+
+
+def test_single_process_advances_clock():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        log.append(sim.now)
+        yield 10.0
+        log.append(sim.now)
+        yield 5.0
+        log.append(sim.now)
+
+    sim.spawn(proc(), "p")
+    sim.run()
+    assert log == [0.0, 10.0, 15.0]
+
+
+def test_two_processes_interleave_by_time():
+    sim = Simulator()
+    log = []
+
+    def proc(name, delay):
+        for _ in range(3):
+            log.append((sim.now, name))
+            yield delay
+
+    sim.spawn(proc("fast", 1.0), "fast")
+    sim.spawn(proc("slow", 2.5), "slow")
+    sim.run()
+    assert log[0] == (0.0, "fast")
+    assert (2.0, "fast") in log
+    assert (2.5, "slow") in log
+
+
+def test_tie_break_is_spawn_order():
+    sim = Simulator()
+    log = []
+
+    def proc(name):
+        log.append(name)
+        yield 1.0
+        log.append(name)
+
+    sim.spawn(proc("a"), "a")
+    sim.spawn(proc("b"), "b")
+    sim.run()
+    assert log == ["a", "b", "a", "b"]
+
+
+def test_run_until_bound():
+    sim = Simulator()
+
+    def forever():
+        while True:
+            yield 10.0
+
+    sim.spawn(forever(), "loop")
+    end = sim.run(until=55.0)
+    assert end == 55.0
+    assert sim.pending > 0  # the process is still queued
+
+
+def test_stop_when_predicate():
+    sim = Simulator()
+    counter = {"n": 0}
+
+    def proc():
+        while True:
+            counter["n"] += 1
+            yield 1.0
+
+    sim.spawn(proc(), "p")
+    sim.run(stop_when=lambda: counter["n"] >= 5)
+    assert counter["n"] == 5
+
+
+def test_max_events():
+    sim = Simulator()
+
+    def proc():
+        while True:
+            yield 1.0
+
+    sim.spawn(proc(), "p")
+    sim.run(max_events=7)
+    assert sim.events_executed == 7
+
+
+def test_process_stop():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        while True:
+            log.append(sim.now)
+            yield 1.0
+
+    handle = sim.spawn(proc(), "p")
+    sim.run(max_events=3)
+    handle.stop()
+    sim.run()
+    assert handle.done
+    assert len(log) == 3
+
+
+def test_call_at_and_after():
+    sim = Simulator()
+    log = []
+    sim.call_at(5.0, lambda: log.append(("at", sim.now)))
+    sim.call_after(2.0, lambda: log.append(("after", sim.now)))
+    sim.run()
+    assert log == [("after", 2.0), ("at", 5.0)]
+
+
+def test_call_in_past_rejected():
+    sim = Simulator()
+
+    def proc():
+        yield 10.0
+
+    sim.spawn(proc(), "p")
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(5.0, lambda: None)
+
+
+def test_negative_delay_is_error():
+    sim = Simulator()
+
+    def proc():
+        yield -1.0
+
+    sim.spawn(proc(), "bad")
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_non_generator_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.spawn(lambda: None, "notgen")  # type: ignore[arg-type]
+
+
+def test_alive_processes():
+    sim = Simulator()
+
+    def short():
+        yield 1.0
+
+    def long():
+        while True:
+            yield 1.0
+
+    sim.spawn(short(), "short")
+    sim.spawn(long(), "long")
+    sim.run(until=10.0)
+    alive = [p.name for p in sim.alive_processes()]
+    assert alive == ["long"]

@@ -1,0 +1,107 @@
+"""Counters, histograms and rate meters."""
+
+import math
+
+import pytest
+
+from repro.sim import Counter, Histogram, RateMeter
+
+
+class TestCounter:
+    def test_add_and_get(self):
+        c = Counter()
+        c.add("reads")
+        c.add("reads", 2)
+        assert c.get("reads") == 3
+        assert c.get("missing") == 0
+
+    def test_negative_rejected(self):
+        c = Counter()
+        with pytest.raises(ValueError):
+            c.add("x", -1)
+
+    def test_snapshot_and_diff(self):
+        c = Counter()
+        c.add("a", 5)
+        snap = c.snapshot()
+        c.add("a", 3)
+        c.add("b", 1)
+        diff = c.diff(snap)
+        assert diff["a"] == 3
+        assert diff["b"] == 1
+
+    def test_reset(self):
+        c = Counter()
+        c.add("a")
+        c.reset()
+        assert c.get("a") == 0
+        assert c.names() == []
+
+    def test_names_sorted(self):
+        c = Counter()
+        c.add("z")
+        c.add("a")
+        assert c.names() == ["a", "z"]
+
+
+class TestHistogram:
+    def test_empty_is_nan(self):
+        h = Histogram()
+        assert math.isnan(h.mean)
+        assert math.isnan(h.median)
+        assert math.isnan(h.minimum)
+
+    def test_single_sample(self):
+        h = Histogram()
+        h.record(42.0)
+        assert h.median == 42.0
+        assert h.percentile(0) == 42.0
+        assert h.percentile(100) == 42.0
+
+    def test_median_interpolates(self):
+        h = Histogram()
+        h.extend([1.0, 2.0, 3.0, 4.0])
+        assert h.median == pytest.approx(2.5)
+
+    def test_percentiles_ordered(self):
+        h = Histogram()
+        h.extend(range(101))
+        assert h.percentile(50) == pytest.approx(50.0)
+        assert h.percentile(99) == pytest.approx(99.0)
+        assert h.minimum == 0
+        assert h.maximum == 100
+
+    def test_out_of_range_percentile(self):
+        h = Histogram()
+        h.record(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_records_after_sort_are_included(self):
+        h = Histogram()
+        h.extend([10.0, 20.0])
+        assert h.median == 15.0
+        h.record(30.0)
+        assert h.median == 20.0
+
+    def test_summary_keys(self):
+        h = Histogram("lat")
+        h.extend([1, 2, 3])
+        summary = h.summary()
+        assert set(summary) == {"count", "mean", "min", "median", "p99", "max"}
+        assert summary["count"] == 3
+
+
+class TestRateMeter:
+    def test_rates(self):
+        m = RateMeter()
+        m.mark(0.0, byte_count=64)
+        m.mark(100.0, byte_count=64)
+        # 2 events, 128 bytes over 100ns.
+        assert m.events_per_second() == pytest.approx(2 / 100e-9)
+        assert m.gbps() == pytest.approx(128 * 8 / 100.0)
+
+    def test_empty_meter(self):
+        m = RateMeter()
+        assert m.events_per_second() == 0.0
+        assert m.gbps() == 0.0

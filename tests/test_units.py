@@ -1,0 +1,50 @@
+"""Unit-conversion and alignment helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_gbps_round_trip():
+    assert units.bytes_per_ns_to_gbps(units.gbps_to_bytes_per_ns(443.0)) == pytest.approx(443.0)
+
+
+def test_one_byte_per_ns_is_eight_gbps():
+    assert units.bytes_per_ns_to_gbps(1.0) == 8.0
+
+
+def test_mpps():
+    # 1000 packets in 1000 ns = 1 packet/ns = 1000 Mpps.
+    assert units.mpps(1000, 1000.0) == pytest.approx(1000.0)
+    assert units.mpps(10, 0.0) == 0.0
+
+
+def test_gbps_counter():
+    # 125 bytes in 1 ns = 1000 Gbps.
+    assert units.gbps(125, 1.0) == pytest.approx(1000.0)
+    assert units.gbps(125, 0.0) == 0.0
+
+
+def test_align_up():
+    assert units.align_up(1, 64) == 64
+    assert units.align_up(64, 64) == 64
+    assert units.align_up(65, 64) == 128
+    assert units.align_up(0, 64) == 0
+
+
+def test_align_down():
+    assert units.align_down(127, 64) == 64
+    assert units.align_down(64, 64) == 64
+
+
+def test_align_rejects_non_positive():
+    with pytest.raises(ValueError):
+        units.align_up(10, 0)
+    with pytest.raises(ValueError):
+        units.align_down(10, -1)
+
+
+def test_is_aligned():
+    assert units.is_aligned(128, 64)
+    assert not units.is_aligned(100, 64)
+    assert not units.is_aligned(100, 0)

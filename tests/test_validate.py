@@ -1,0 +1,37 @@
+"""Calibration self-check regression test."""
+
+from repro.analysis.validate import Check, validate_calibration
+
+
+class TestCheck:
+    def test_within_tolerance(self):
+        check = Check(name="x", paper=100.0, measured=103.0, tolerance=0.05)
+        assert check.ok
+        assert check.error == 0.03
+
+    def test_outside_tolerance(self):
+        check = Check(name="x", paper=100.0, measured=120.0, tolerance=0.05)
+        assert not check.ok
+        assert "DRIFT" in str(check)
+
+    def test_zero_paper_value(self):
+        check = Check(name="x", paper=0.0, measured=5.0, tolerance=0.05)
+        assert check.error == 0.0
+
+
+class TestCalibration:
+    def test_microbenchmark_anchors_hold(self):
+        report = validate_calibration(include_end_to_end=False)
+        assert report.ok, "\n" + report.summary()
+
+    def test_end_to_end_anchors_hold(self):
+        report = validate_calibration(include_end_to_end=True)
+        assert report.ok, "\n" + report.summary()
+
+    def test_report_lists_every_anchor(self):
+        report = validate_calibration(include_end_to_end=False)
+        names = {check.name for check in report.checks}
+        # 5 Fig 7 cases per platform + 2 MMIO + Fig 3.
+        assert len(names) == 13
+        assert "fig7.icx.R L2 (rh)" in names
+        assert report.failures() == []
