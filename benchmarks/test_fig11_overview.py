@@ -11,7 +11,7 @@ Paper claims reproduced here:
 from conftest import emit
 
 from repro.analysis import InterfaceKind, format_table
-from repro.analysis.loopback import min_latency, saturation, wire_bytes_per_packet
+from repro.analysis.loopback import min_latency
 from repro.analysis.scaling import build_scaling_model
 from repro.platform import icx
 

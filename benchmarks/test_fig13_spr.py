@@ -10,7 +10,6 @@ from conftest import emit
 from repro.analysis import InterfaceKind, format_table
 from repro.analysis.scaling import build_scaling_model
 from repro.platform import spr
-from repro.units import gbps_to_bytes_per_ns
 
 
 def run_fig13():

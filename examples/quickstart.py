@@ -25,8 +25,9 @@ def manual_api_demo() -> None:
     nic.start()
 
     # ccnic_buf_alloc: four small-packet buffers from the shared pool.
-    bufs, ns = buf_alloc(nic.pool, driver.agent, 4, [64] * 4)
-    print(f"allocated {len(bufs)} buffers in {ns:.1f}ns "
+    alloc = buf_alloc(nic.pool, driver.agent, [64] * 4)
+    bufs = alloc.bufs
+    print(f"allocated {alloc.count} buffers in {alloc.ns:.1f}ns "
           f"(small={bufs[0].small}, capacity={bufs[0].capacity}B)")
 
     # Write payloads, then ccnic_tx_burst.
@@ -34,17 +35,17 @@ def manual_api_demo() -> None:
     for buf in bufs:
         driver.write_payload(buf, 64)
         entries.append((buf, Packet(size=64, tx_ns=system.now)))
-    sent, ns = tx_burst(driver, entries)
-    print(f"tx_burst accepted {sent} packets in {ns:.1f}ns")
+    tx = tx_burst(driver, entries)
+    print(f"tx_burst accepted {tx.count} packets in {tx.ns:.1f}ns")
 
     # Poll ccnic_rx_burst until the NIC loops them back.
     received = []
 
     def app():
         while len(received) < 4:
-            got, cost = rx_burst(driver, 8)
-            received.extend(got)
-            yield max(cost, 1.0)
+            rx = rx_burst(driver, 8)
+            received.extend(rx.entries)
+            yield max(rx.ns, 1.0)
 
     system.sim.spawn(app(), "quickstart-app")
     system.sim.run(until=1e6, stop_when=lambda: len(received) >= 4)

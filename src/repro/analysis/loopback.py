@@ -15,8 +15,11 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core import CcnicConfig, CcnicInterface
+from repro.core.nic import NicDriver, NicInterface
 from repro.errors import ConfigError
 from repro.nicmodels import PcieNicInterface, unoptimized_upi_config
+from repro.obs.instrument import Observability
+from repro.obs.wire import instrument_all
 from repro.platform.presets import PlatformSpec
 from repro.platform.system import System
 from repro.workloads.trafficgen import LoopbackResult, run_loopback
@@ -40,14 +43,12 @@ class LoopbackSetup:
     """A ready-to-run system + interface + driver for one queue."""
 
     system: System
-    interface: object
-    driver: object
+    interface: NicInterface
+    driver: NicDriver
     kind: InterfaceKind
 
     def link(self):
         """The interconnect the host-NIC traffic crosses."""
-        if self.kind.is_coherent:
-            return self.system.link
         return self.interface.link
 
 
@@ -61,6 +62,7 @@ def build_interface(
     link_latency_factor: float = 1.0,
     link_bandwidth_factor: float = 1.0,
     ring_slots: int = 1024,
+    obs: Optional[Observability] = None,
 ) -> LoopbackSetup:
     """Instantiate one comparison point with a single queue pair."""
     system = System(
@@ -88,6 +90,10 @@ def build_interface(
         interface = PcieNicInterface(system, nic_spec)
         driver = interface.driver(0)
         interface.start()
+    if obs is not None and obs.enabled:
+        # Instrument after start() so the interface cascade reaches the
+        # per-pair NIC agents spawned there.
+        instrument_all(obs, system.sim, system.fabric, interface, driver)
     return LoopbackSetup(system=system, interface=interface, driver=driver, kind=kind)
 
 
@@ -99,6 +105,7 @@ def run_point(
     offered_mpps: Optional[float] = None,
     tx_batch: int = 32,
     rx_batch: int = 32,
+    obs: Optional[Observability] = None,
 ) -> LoopbackResult:
     """Run one loopback measurement on a built setup."""
     return run_loopback(
@@ -110,6 +117,7 @@ def run_point(
         offered_mpps=offered_mpps,
         tx_batch=tx_batch,
         rx_batch=rx_batch,
+        obs=obs,
     )
 
 

@@ -119,13 +119,13 @@ class ForwardingApp:
         agent = driver.agent
         while not self.done:
             ns = 0.0
-            packets, cost = driver.rx_burst(self.batch)
-            ns += cost
-            if not packets:
+            rx = driver.rx_burst(self.batch)
+            ns += rx.ns
+            if not rx.entries:
                 yield max(ns + system.cycles(8), 2.0)
                 continue
             outgoing: List[tuple] = []
-            for pkt, buf in packets:
+            for pkt, buf in rx.entries:
                 head = next(iter(buf.segments()))
                 if self.header_only:
                     # Touch only the header line; the payload lines stay
@@ -140,13 +140,13 @@ class ForwardingApp:
                 ns += system.cycles(FORWARD_CYCLES)
                 outgoing.append((buf, Packet(size=pkt.size, tx_ns=pkt.tx_ns)))
             while outgoing:
-                sent, cost = driver.tx_burst(outgoing, base_ns=ns)
-                ns += cost
-                if sent == 0:
+                tx = driver.tx_burst(outgoing, base_ns=ns)
+                ns += tx.ns
+                if tx.count == 0:
                     yield max(ns, 1.0)
                     ns = 0.0
                     continue
-                del outgoing[:sent]
+                del outgoing[: tx.count]
             yield max(ns, 1.0)
 
     # ------------------------------------------------------------------

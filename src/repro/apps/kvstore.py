@@ -23,7 +23,7 @@ Deployment comparison (Fig 19 / Table 2):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Optional
 
 from repro.analysis.loopback import InterfaceKind, LoopbackSetup, build_interface
 from repro.core.buffers import Buffer
@@ -156,7 +156,6 @@ class KvServerApp:
         return lambda pkt, when: self.setup.interface.inject(0, pkt, when)
 
     def _attach_sink(self) -> None:
-        sim = self.setup.system.sim
         result = self.result
 
         def sink(pkt: Packet, when: float) -> None:
@@ -182,18 +181,17 @@ class KvServerApp:
         driver = self.setup.driver
         agent = driver.agent
         store_size = self.store.size
-        processed = 0
         while not self.done:
             ns = system.cycles(RPC_CYCLES)
-            requests, cost = driver.rx_burst(self.batch)
-            ns += cost
-            if not requests:
+            rx = driver.rx_burst(self.batch)
+            ns += rx.ns
+            if not rx.entries:
                 ns += driver.housekeeping()
                 yield max(ns, 2.0)
                 continue
             responses = []
             rx_bufs = []
-            for pkt, buf in requests:
+            for pkt, buf in rx.entries:
                 rx_bufs.append(buf)
                 key = pkt.flow
                 obj_size = self._sizes[key % len(self._sizes)]
@@ -202,11 +200,11 @@ class KvServerApp:
                 ns += fabric.read(agent, self.index.base + (key * 64) % self.index.size, 16)
                 if getattr(pkt, "is_get", True):
                     # Zero-copy get: header buffer + external object segment.
-                    header, alloc_ns = driver.alloc([HEADER_BYTES])
-                    ns += alloc_ns
+                    header = driver.alloc([HEADER_BYTES])
+                    ns += header.ns
                     if not header:
                         continue
-                    head = header[0]
+                    head = header.bufs[0]
                     ns += driver.write_payload(head, HEADER_BYTES)
                     segment = Buffer(
                         addr=obj_addr, capacity=max(64, obj_size), external=True
@@ -218,26 +216,27 @@ class KvServerApp:
                 else:
                     # Set: write the object into store memory, ack.
                     ns += fabric.write(agent, obj_addr, max(64, obj_size))
-                    ack, alloc_ns = driver.alloc([HEADER_BYTES])
-                    ns += alloc_ns
+                    ack = driver.alloc([HEADER_BYTES])
+                    ns += ack.ns
                     if not ack:
                         continue
-                    ns += driver.write_payload(ack[0], HEADER_BYTES)
-                    responses.append((ack[0], Packet(size=HEADER_BYTES, tx_ns=pkt.tx_ns)))
-                processed += 1
+                    ns += driver.write_payload(ack.bufs[0], HEADER_BYTES)
+                    responses.append(
+                        (ack.bufs[0], Packet(size=HEADER_BYTES, tx_ns=pkt.tx_ns))
+                    )
             ns += driver.read_payloads(rx_bufs)
             while responses:
-                sent, cost = driver.tx_burst(responses, base_ns=ns)
-                ns += cost
-                if sent == 0:
+                tx = driver.tx_burst(responses, base_ns=ns)
+                ns += tx.ns
+                if tx.count == 0:
                     yield max(ns, 1.0)
                     ns = 0.0
                     continue
-                del responses[:sent]
+                del responses[: tx.count]
             ns += driver.free(rx_bufs)
             ns += driver.housekeeping()
             self.server_busy_ns += ns
-            self.server_ops += len(requests)
+            self.server_ops += rx.count
             yield max(ns, 1.0)
 
     @property
@@ -292,6 +291,7 @@ def kv_thread_study(
     n_ops: int = 6000,
     probe_mops: float = 50.0,
     nic_cap_mops: Optional[float] = None,
+    obs=None,
 ) -> KvStudy:
     """Measure one server thread in detail and compose the curve.
 
@@ -299,9 +299,11 @@ def kv_thread_study(
     the average packets per operation — both deployments forward through
     the same CX6, so the peak is shared (§5.7).
     """
-    setup = build_interface(spec, kind if kind.is_coherent else InterfaceKind.CX6)
+    setup = build_interface(
+        spec, kind if kind.is_coherent else InterfaceKind.CX6, obs=obs
+    )
     app = KvServerApp(setup, workload, offered_mops=probe_mops, n_ops=n_ops)
-    result = app.run()
+    app.run()
     # Scale on the application thread's own service rate: under CC-NIC
     # the NIC-socket agents (the overlay threads of §4) absorb the
     # PCIe-side work, so the app thread's busy time is what each added

@@ -143,16 +143,16 @@ class TasFastPath:
         agent = driver.agent
         while not self.done:
             ns = 0.0
-            requests, cost = driver.rx_burst(self.batch)
-            ns += cost
-            if not requests:
+            rx = driver.rx_burst(self.batch)
+            ns += rx.ns
+            if not rx.entries:
                 ns += driver.housekeeping()
                 yield max(ns + system.cycles(10), 2.0)
                 continue
-            ns += driver.read_payloads([buf for _pkt, buf in requests])
+            ns += driver.read_payloads([buf for _pkt, buf in rx.entries])
             responses = []
             rx_bufs = []
-            for pkt, buf in requests:
+            for pkt, buf in rx.entries:
                 rx_bufs.append(buf)
                 flow = self.flows[pkt.flow % self.n_flows]
                 entry = self.flow_table.base + flow.flow_id * FLOW_ENTRY_BYTES
@@ -165,27 +165,27 @@ class TasFastPath:
                 # Application echo (shared-memory queue + app work).
                 ns += system.cycles(APP_CYCLES)
                 # TCP TX: build the echo segment.
-                out, alloc_ns = driver.alloc([RPC_BYTES])
-                ns += alloc_ns
+                out = driver.alloc([RPC_BYTES])
+                ns += out.ns
                 if not out:
                     continue
-                ns += driver.write_payload(out[0], RPC_BYTES)
+                ns += driver.write_payload(out.bufs[0], RPC_BYTES)
                 flow.ack = flow.seq
                 flow.tx_packets += 1
                 ns += fabric.write(agent, entry, 16)
-                responses.append((out[0], Packet(size=RPC_BYTES, tx_ns=pkt.tx_ns)))
+                responses.append((out.bufs[0], Packet(size=RPC_BYTES, tx_ns=pkt.tx_ns)))
             while responses:
-                sent, cost = driver.tx_burst(responses, base_ns=ns)
-                ns += cost
-                if sent == 0:
+                tx = driver.tx_burst(responses, base_ns=ns)
+                ns += tx.ns
+                if tx.count == 0:
                     yield max(ns, 1.0)
                     ns = 0.0
                     continue
-                del responses[:sent]
+                del responses[: tx.count]
             ns += driver.free(rx_bufs)
             ns += driver.housekeeping()
             self.fastpath_busy_ns += ns
-            self.fastpath_ops += len(requests)
+            self.fastpath_ops += rx.count
             yield max(ns, 1.0)
 
     @property
@@ -234,9 +234,12 @@ def rpc_thread_study(
     n_ops: int = 6000,
     probe_mops: float = 60.0,
     nic_cap_mops: Optional[float] = None,
+    obs=None,
 ) -> RpcStudy:
     """Measure one fast-path thread; compose the thread-count answer."""
-    setup = build_interface(spec, kind if kind.is_coherent else InterfaceKind.CX6)
+    setup = build_interface(
+        spec, kind if kind.is_coherent else InterfaceKind.CX6, obs=obs
+    )
     fastpath = TasFastPath(setup, n_flows=n_flows, offered_mops=probe_mops, n_ops=n_ops)
     fastpath.run()
     if nic_cap_mops is None:

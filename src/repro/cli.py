@@ -19,11 +19,21 @@ Commands mirror the measurement tooling used throughout the evaluation:
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
 from typing import List, Optional
 
 from repro.analysis import InterfaceKind, format_table
 from repro.analysis.loopback import build_interface, run_point, wire_bytes_per_packet
+from repro.obs import (
+    MetricRegistry,
+    Observability,
+    SpanTracer,
+    export_chrome_trace,
+    export_metrics_csv,
+    export_metrics_json,
+)
 from repro.analysis.microbench import (
     PINGPONG_CASES,
     access_latency_cases,
@@ -53,25 +63,89 @@ def _kind(name: str) -> InterfaceKind:
 
 
 # ----------------------------------------------------------------------
+# Telemetry plumbing (shared by loopback / counters / kv / rpc)
+# ----------------------------------------------------------------------
+def _add_obs_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write a metric-registry snapshot (CSV if FILE ends in .csv, else JSON)",
+    )
+    sub.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write the span timeline in Chrome trace format",
+    )
+
+
+def _make_obs(
+    args: argparse.Namespace, force_metrics: bool = False
+) -> Optional[Observability]:
+    """Build the run's observability bundle, or None when disabled."""
+    want_metrics = force_metrics or args.metrics_out is not None
+    want_trace = args.trace_out is not None
+    if not (want_metrics or want_trace):
+        return None
+    # Fail fast on an unwritable destination rather than after the run.
+    for path in (args.metrics_out, args.trace_out):
+        if path is None:
+            continue
+        parent = os.path.dirname(path) or "."
+        if not os.path.isdir(parent):
+            raise SystemExit(f"error: cannot write {path!r}: no such directory {parent!r}")
+    return Observability(
+        metrics=MetricRegistry() if want_metrics else None,
+        tracer=SpanTracer() if want_trace else None,
+    )
+
+
+def _export_obs(obs: Optional[Observability], args: argparse.Namespace) -> None:
+    if obs is None:
+        return
+    if args.metrics_out:
+        if args.metrics_out.endswith(".csv"):
+            count = export_metrics_csv(obs.metrics, args.metrics_out)
+        else:
+            doc = export_metrics_json(obs.metrics, args.metrics_out)
+            count = sum(len(section) for section in doc["metrics"].values())
+        print(f"wrote {count} metrics to {args.metrics_out}")
+    if args.trace_out:
+        events = export_chrome_trace(obs.tracer, args.trace_out)
+        print(f"wrote {events} trace events to {args.trace_out}")
+
+
+@contextlib.contextmanager
+def _maybe_trace_fabric(obs: Optional[Observability], fabric):
+    """Record per-access coherence instants while tracing is on."""
+    if obs is not None and obs.tracer.enabled:
+        with obs.tracer.attach_fabric(fabric):
+            yield
+    else:
+        yield
+
+
+# ----------------------------------------------------------------------
 def cmd_loopback(args: argparse.Namespace) -> int:
     spec = _platform(args.platform)
     kind = _kind(args.interface)
+    obs = _make_obs(args)
     setup = build_interface(
         spec,
         kind,
         same_socket=args.same_socket,
         link_latency_factor=args.latency_factor,
         link_bandwidth_factor=args.bandwidth_factor,
+        obs=obs,
     )
-    result = run_point(
-        setup,
-        pkt_size=args.size,
-        n_packets=args.packets,
-        inflight=None if args.rate else args.inflight,
-        offered_mpps=args.rate,
-        tx_batch=args.batch,
-        rx_batch=args.batch,
-    )
+    with _maybe_trace_fabric(obs, setup.system.fabric):
+        result = run_point(
+            setup,
+            pkt_size=args.size,
+            n_packets=args.packets,
+            inflight=None if args.rate else args.inflight,
+            offered_mpps=args.rate,
+            tx_batch=args.batch,
+            rx_batch=args.batch,
+            obs=obs,
+        )
     d0, d1 = wire_bytes_per_packet(setup, result)
     print(format_table(
         ["Metric", "Value"],
@@ -87,6 +161,7 @@ def cmd_loopback(args: argparse.Namespace) -> int:
         ],
         title=f"{kind.value} loopback, {args.size}B packets on {spec.name}",
     ))
+    _export_obs(obs, args)
     return 0
 
 
@@ -133,10 +208,14 @@ def cmd_microbench(args: argparse.Namespace) -> int:
 def cmd_counters(args: argparse.Namespace) -> int:
     spec = _platform(args.platform)
     kind = _kind(args.interface)
-    setup = build_interface(spec, kind)
-    result = run_point(setup, 64, args.packets, inflight=128,
-                       tx_batch=32, rx_batch=32)
-    counters = setup.system.fabric.snapshot_counters()
+    # This command always runs with a live registry: the table below is
+    # read from the registry's "fabric" section, not the fabric object.
+    obs = _make_obs(args, force_metrics=True)
+    setup = build_interface(spec, kind, obs=obs)
+    with _maybe_trace_fabric(obs, setup.system.fabric):
+        result = run_point(setup, 64, args.packets, inflight=128,
+                           tx_batch=32, rx_batch=32, obs=obs)
+    counters = obs.metrics.snapshot().get("fabric", {})
     nic = setup.system.nic_socket
     rows = [
         (name.split(".", 1)[1], counters[name] / result.received)
@@ -148,6 +227,7 @@ def cmd_counters(args: argparse.Namespace) -> int:
         rows,
         title=f"{kind.value} batched 64B loopback ({result.received} packets)",
     ))
+    _export_obs(obs, args)
     return 0
 
 
@@ -156,9 +236,10 @@ def cmd_kv(args: argparse.Namespace) -> int:
 
     spec = _platform(args.platform)
     workload = KvWorkload.ads() if args.distribution == "ads" else KvWorkload.geo()
+    obs = _make_obs(args)
     rows = []
     for kind in (InterfaceKind.CX6, InterfaceKind.CCNIC):
-        study = kv_thread_study(spec, kind, workload, n_ops=args.ops)
+        study = kv_thread_study(spec, kind, workload, n_ops=args.ops, obs=obs)
         rows.append((kind.value, study.per_thread_mops, study.peak_mops,
                      study.threads_to_saturate(spec)))
     print(format_table(
@@ -166,6 +247,7 @@ def cmd_kv(args: argparse.Namespace) -> int:
         rows,
         title=f"KV store ({args.distribution}) on {spec.name}",
     ))
+    _export_obs(obs, args)
     return 0
 
 
@@ -173,9 +255,10 @@ def cmd_rpc(args: argparse.Namespace) -> int:
     from repro.apps.tas import rpc_thread_study
 
     spec = _platform(args.platform)
+    obs = _make_obs(args)
     rows = []
     for kind in (InterfaceKind.CX6, InterfaceKind.CCNIC):
-        study = rpc_thread_study(spec, kind, n_ops=args.ops)
+        study = rpc_thread_study(spec, kind, n_ops=args.ops, obs=obs)
         rows.append((kind.value, study.per_thread_mops, study.peak_mops,
                      study.threads_to_saturate()))
     print(format_table(
@@ -183,6 +266,7 @@ def cmd_rpc(args: argparse.Namespace) -> int:
         rows,
         title=f"TCP echo RPC (TAS-like) on {spec.name}",
     ))
+    _export_obs(obs, args)
     return 0
 
 
@@ -244,6 +328,7 @@ def build_parser() -> argparse.ArgumentParser:
     lb.add_argument("--same-socket", action="store_true")
     lb.add_argument("--latency-factor", type=float, default=1.0)
     lb.add_argument("--bandwidth-factor", type=float, default=1.0)
+    _add_obs_args(lb)
     lb.set_defaults(func=cmd_loopback)
 
     mb = sub.add_parser("microbench", help="Figs 2/3/7/8 microbenchmarks")
@@ -254,17 +339,20 @@ def build_parser() -> argparse.ArgumentParser:
     ct.add_argument("--platform", default="icx", choices=["icx", "spr"])
     ct.add_argument("--interface", default="ccnic")
     ct.add_argument("--packets", type=int, default=4000)
+    _add_obs_args(ct)
     ct.set_defaults(func=cmd_counters)
 
     kv = sub.add_parser("kv", help="KV store thread study")
     kv.add_argument("--platform", default="icx", choices=["icx", "spr"])
     kv.add_argument("--distribution", default="ads", choices=["ads", "geo"])
     kv.add_argument("--ops", type=int, default=2000)
+    _add_obs_args(kv)
     kv.set_defaults(func=cmd_kv)
 
     rpc = sub.add_parser("rpc", help="TCP RPC thread study")
     rpc.add_argument("--platform", default="icx", choices=["icx", "spr"])
     rpc.add_argument("--ops", type=int, default=2000)
+    _add_obs_args(rpc)
     rpc.set_defaults(func=cmd_rpc)
 
     t1 = sub.add_parser("table1", help="interconnect bandwidth table")

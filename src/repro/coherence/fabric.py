@@ -43,9 +43,10 @@ from repro.coherence.state import LineState
 from repro.errors import CoherenceError
 from repro.interconnect.link import Link
 from repro.interconnect.messages import MessageClass
-from repro.mem.address import lines_spanned
+from repro.mem.address import CACHE_LINE_SIZE, lines_spanned
 from repro.mem.region import Region
 from repro.mem.space import AddressSpace
+from repro.obs.instrument import Instrumented
 from repro.sim.engine import Simulator
 from repro.sim.stats import Counter
 
@@ -56,7 +57,7 @@ DEFAULT_MLP = 10.0
 DEFAULT_WRITE_PIPELINE = 2.0
 
 
-class CoherenceFabric:
+class CoherenceFabric(Instrumented):
     """Global MESIF directory plus latency/bandwidth charging.
 
     Args:
@@ -98,6 +99,18 @@ class CoherenceFabric:
         # are serialization-bound, so the MLP/store-pipelining divisions
         # that apply to latency must not shrink them.
         self._pending_queue = 0.0
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _obs_component(self) -> str:
+        return "fabric"
+
+    def _register_metrics(self, registry) -> None:
+        # The registry's "fabric" section mirrors snapshot_counters()
+        # exactly: the counter bag is adopted, not copied, so the hot
+        # path keeps its plain dict increments.
+        registry.adopt_counters(self.obs_name, self.counters)
 
     # ------------------------------------------------------------------
     # Agent management
@@ -149,9 +162,23 @@ class CoherenceFabric:
             raise CoherenceError(
                 f"coherent access to non-WB region {region.name!r} ({region.memtype})"
             )
-        total = 0.0
         self._elapsed = 0.0
-        for index, line in enumerate(lines_spanned(addr, size)):
+        first = addr // CACHE_LINE_SIZE
+        last = (addr + size - 1) // CACHE_LINE_SIZE
+        if first == last:
+            # Hot path: the overwhelming majority of modelled accesses
+            # (descriptors, signal words, header probes) touch one line.
+            self._pending_queue = 0.0
+            latency = self._line_access(agent, first, write, region)
+            if write:
+                latency /= self.write_pipeline
+            total = latency + self._pending_queue
+            self._elapsed = total
+            self._maybe_prefetch(agent, first, region)
+            self._elapsed = 0.0
+            return total
+        total = 0.0
+        for index, line in enumerate(range(first, last + 1)):
             self._pending_queue = 0.0
             latency = self._line_access(agent, line, write, region)
             if write:
@@ -190,7 +217,8 @@ class CoherenceFabric:
                 raise CoherenceError(
                     f"coherent access to non-WB region {region.name!r}"
                 )
-            for line in lines_spanned(addr, size):
+            for line in range(addr // CACHE_LINE_SIZE,
+                              (addr + size - 1) // CACHE_LINE_SIZE + 1):
                 self._pending_queue = 0.0
                 latency = self._line_access(agent, line, write, region)
                 if write:

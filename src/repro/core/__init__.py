@@ -7,18 +7,34 @@ ethdev semantics)::
     from repro.core.api import buf_alloc, buf_free, tx_burst, rx_burst
 
     nic = CcnicInterface(system, CcnicConfig())
+    driver = nic.driver(0)
     nic.start()
-    bufs, ns = buf_alloc(nic.pool, host_agent, count=4, sizes=[64] * 4)
-    sent, ns = tx_burst(nic, 0, bufs)
-    pkts, ns = rx_burst(nic, 0, 32)
+    alloc = buf_alloc(nic.pool, driver.agent, sizes=[64] * 4)
+    tx = tx_burst(driver, [(buf, pkt) for buf in alloc.bufs])
+    rx = rx_burst(driver, 32)
 
-Every operation returns the nanoseconds it cost the calling core, which
-driver processes yield to the simulator.
+Every operation returns a typed result (:class:`~repro.core.results.AllocResult`,
+:class:`~repro.core.results.TxResult`, :class:`~repro.core.results.RxResult`)
+carrying both the payload and the nanoseconds the call cost the calling
+core, which driver processes yield to the simulator.
 """
 
 from repro.core.buffers import Buffer
 from repro.core.config import CcnicConfig, DescLayout
 from repro.core.interface import CcnicInterface
+from repro.core.nic import NicDriver, NicInterface
 from repro.core.pool import BufferPool
+from repro.core.results import AllocResult, RxResult, TxResult
 
-__all__ = ["Buffer", "BufferPool", "CcnicConfig", "CcnicInterface", "DescLayout"]
+__all__ = [
+    "AllocResult",
+    "Buffer",
+    "BufferPool",
+    "CcnicConfig",
+    "CcnicInterface",
+    "DescLayout",
+    "NicDriver",
+    "NicInterface",
+    "RxResult",
+    "TxResult",
+]

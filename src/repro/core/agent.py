@@ -18,6 +18,7 @@ from typing import Deque, List, Tuple
 from repro.coherence.cache import CacheAgent
 from repro.core.buffers import Buffer
 from repro.core.ring import WorkItem
+from repro.obs.instrument import Instrumented
 from repro.workloads.packets import Packet
 
 #: Cycles of NIC-side packet processing per packet (header parse, DMA
@@ -28,7 +29,7 @@ NIC_CYCLES_PER_PKT = 13
 IDLE_GAP_NS = 12.0
 
 
-class NicQueueAgent:
+class NicQueueAgent(Instrumented):
     """Device-side processing loop for one queue pair."""
 
     def __init__(self, interface, queue_index: int) -> None:
@@ -48,6 +49,15 @@ class NicQueueAgent:
         self.tx_packets = 0
         self.rx_packets = 0
         self.busy_ns = 0.0
+
+    # ------------------------------------------------------------------
+    def _obs_component(self) -> str:
+        return f"nic_agent.q{self.queue_index}"
+
+    def _register_metrics(self, registry) -> None:
+        registry.gauge(self.obs_name, "tx_packets", fn=lambda: float(self.tx_packets))
+        registry.gauge(self.obs_name, "rx_packets", fn=lambda: float(self.rx_packets))
+        registry.gauge(self.obs_name, "busy_ns", fn=lambda: self.busy_ns)
 
     # ------------------------------------------------------------------
     def run(self):
@@ -94,6 +104,16 @@ class NicQueueAgent:
         """Read payloads, free TX buffers, place packets on the wire."""
         config = self.interface.config
         fabric = self.interface.system.fabric
+        tracer = self.obs.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.begin(
+                "nic_tx",
+                actor=self.agent.name,
+                category="nic",
+                start_ns=now,
+                packets=len(packets),
+            )
         ns = 0.0
         to_free: List[Buffer] = []
         spans = [
@@ -117,6 +137,8 @@ class NicQueueAgent:
             comp_items = [WorkItem(buf=b, length=0, pkt=None) for b in to_free]
             _, comp_ns = self.pair.tx_comp.produce(self.agent, comp_items, base_ns=ns)
             ns += comp_ns
+        if span is not None:
+            tracer.end(span, now + ns)
         return ns
 
     # ------------------------------------------------------------------
@@ -141,6 +163,16 @@ class NicQueueAgent:
         """
         config = self.interface.config
         fabric = self.interface.system.fabric
+        tracer = self.obs.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.begin(
+                "nic_rx",
+                actor=self.agent.name,
+                category="nic",
+                start_ns=self.interface.system.sim.now + base_ns,
+                packets=len(packets),
+            )
         ns = 0.0
         items: List[WorkItem] = []
         spans: List[Tuple[int, int]] = []
@@ -172,6 +204,8 @@ class NicQueueAgent:
                 self._wire.appendleft((0.0, item.pkt))
                 self.interface.pool.free(self.agent, [item.buf])
             self.rx_packets += accepted
+        if span is not None:
+            tracer.end(span, self.interface.system.sim.now + base_ns + ns)
         return ns
 
     def _rx_chain(self, size: int):

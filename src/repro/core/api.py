@@ -7,33 +7,47 @@ The C interface::
     int  ccnic_tx_burst(int txq_index, struct ccnic_buf **bufs, unsigned count);
     int  ccnic_rx_burst(int rxq_index, struct ccnic_buf **bufs, unsigned count);
 
-maps to these functions. Because this is a simulation, each call also
-returns the nanoseconds of host-core time it cost; simulation processes
-yield that value. Semantics match DPDK mempool/ethdev burst APIs:
-partial success returns a count, never raises.
+maps to these functions. The C ``count`` argument is implied here by
+``len(sizes)`` (buf_alloc) or the entry list length (tx_burst), so it is
+not a separate parameter. Because this is a simulation, each call also
+returns the nanoseconds of host-core time it cost (the ``ns`` field of
+the result); simulation processes yield that value.
+
+Semantics match DPDK mempool/ethdev burst APIs: partial success returns
+a smaller count — an exhausted pool or a full ring is an expected
+outcome, never an exception. (Submitting a malformed buffer, e.g. one
+without a payload, is a programming error and does raise.)
+
+Results are typed (:class:`~repro.core.results.AllocResult`,
+:class:`~repro.core.results.TxResult`,
+:class:`~repro.core.results.RxResult`); the old tuple unpacking still
+works but is deprecated.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.coherence.cache import CacheAgent
 from repro.core.buffers import Buffer
 from repro.core.driver import CcnicDriver
 from repro.core.pool import BufferPool
+from repro.core.results import AllocResult, RxResult, TxResult
 from repro.workloads.packets import Packet
 
 
 def buf_alloc(
     pool: BufferPool,
     agent: CacheAgent,
-    count: int,
     sizes: Sequence[int],
-) -> Tuple[List[Buffer], float]:
-    """Allocate up to ``count`` buffers sized for the given payloads."""
-    if len(sizes) != count:
-        raise ValueError(f"expected {count} sizes, got {len(sizes)}")
-    return pool.alloc(agent, sizes)
+) -> AllocResult:
+    """Allocate one buffer per payload size.
+
+    An exhausted pool yields fewer buffers than requested
+    (``result.count < len(sizes)``); it never raises.
+    """
+    bufs, ns = pool.alloc(agent, sizes)
+    return AllocResult(bufs, ns)
 
 
 def buf_free(pool: BufferPool, agent: CacheAgent, bufs: Sequence[Buffer]) -> float:
@@ -44,7 +58,7 @@ def buf_free(pool: BufferPool, agent: CacheAgent, bufs: Sequence[Buffer]) -> flo
 def tx_burst(
     driver: CcnicDriver,
     entries: Sequence[Tuple[Buffer, Packet]],
-) -> Tuple[int, float]:
+) -> TxResult:
     """Submit a burst of (buffer, packet) pairs on the driver's TX queue."""
     return driver.tx_burst(entries)
 
@@ -52,6 +66,6 @@ def tx_burst(
 def rx_burst(
     driver: CcnicDriver,
     count: int,
-) -> Tuple[List[Tuple[Packet, Buffer]], float]:
+) -> RxResult:
     """Receive up to ``count`` packets from the driver's RX queue."""
     return driver.rx_burst(count)

@@ -17,15 +17,17 @@ from typing import List, Sequence, Tuple
 
 from repro.coherence.cache import CacheAgent
 from repro.core.buffers import Buffer
+from repro.core.results import AllocResult, RxResult, TxResult
 from repro.core.ring import WorkItem
 from repro.errors import NicError
+from repro.obs.instrument import Instrumented
 from repro.workloads.packets import Packet
 
 #: Marker on continuation descriptors of multi-segment TX packets.
 CONTINUATION = "cont"
 
 
-class CcnicDriver:
+class CcnicDriver(Instrumented):
     """Host-side API for one queue pair of a :class:`CcnicInterface`."""
 
     def __init__(self, interface, queue_index: int, host_agent: CacheAgent) -> None:
@@ -34,13 +36,30 @@ class CcnicDriver:
         self.agent = host_agent
         self.pair = interface.pair(queue_index)
         self._seq = 0
+        self.tx_packets = 0
+        self.rx_packets = 0
+        self.tx_ns = 0.0
+        self.rx_ns = 0.0
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _obs_component(self) -> str:
+        return f"driver.q{self.queue_index}"
+
+    def _register_metrics(self, registry) -> None:
+        registry.gauge(self.obs_name, "tx_packets", fn=lambda: float(self.tx_packets))
+        registry.gauge(self.obs_name, "rx_packets", fn=lambda: float(self.rx_packets))
+        registry.gauge(self.obs_name, "tx_ns", fn=lambda: self.tx_ns)
+        registry.gauge(self.obs_name, "rx_ns", fn=lambda: self.rx_ns)
 
     # ------------------------------------------------------------------
     # Buffers and payloads
     # ------------------------------------------------------------------
-    def alloc(self, sizes: Sequence[int]) -> Tuple[List[Buffer], float]:
-        """Allocate one buffer per payload size."""
-        return self.interface.pool.alloc(self.agent, sizes)
+    def alloc(self, sizes: Sequence[int]) -> AllocResult:
+        """Allocate one buffer per payload size (partial on exhaustion)."""
+        bufs, ns = self.interface.pool.alloc(self.agent, sizes)
+        return AllocResult(bufs, ns)
 
     def free(self, bufs: Sequence[Buffer]) -> float:
         """Return buffers to the pool."""
@@ -100,7 +119,7 @@ class CcnicDriver:
         self,
         entries: Sequence[Tuple[Buffer, Packet]],
         base_ns: float = 0.0,
-    ) -> Tuple[int, float]:
+    ) -> TxResult:
         """Submit packets for transmission.
 
         Args:
@@ -112,9 +131,19 @@ class CcnicDriver:
                 descriptor visibility is delayed by it.
 
         Returns:
-            (packets accepted, ns). Packets beyond ring capacity are not
-            submitted; their descriptors are untouched.
+            :class:`TxResult`; packets beyond ring capacity are not
+            submitted and their descriptors are untouched.
         """
+        tracer = self.obs.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.begin(
+                "tx_burst",
+                actor=self.agent.name,
+                category="driver",
+                start_ns=self.interface.system.sim.now + base_ns,
+                packets=len(entries),
+            )
         items: List[WorkItem] = []
         bounds: List[int] = []  # item count after each whole packet
         for buf, pkt in entries:
@@ -133,13 +162,32 @@ class CcnicDriver:
         for bound in bounds:
             if bound <= accepted_items:
                 accepted_packets += 1
-        return accepted_packets, ns
+        self.tx_packets += accepted_packets
+        self.tx_ns += ns
+        if span is not None:
+            span.args["accepted"] = accepted_packets
+            tracer.end(span, self.interface.system.sim.now + base_ns + ns)
+        return TxResult(accepted_packets, ns)
 
-    def rx_burst(self, max_packets: int) -> Tuple[List[Tuple[Packet, Buffer]], float]:
-        """Poll the RX ring; returns ((packet, buffer) pairs, ns)."""
+    def rx_burst(self, max_packets: int) -> RxResult:
+        """Poll the RX ring for up to ``max_packets`` received packets."""
+        tracer = self.obs.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.begin(
+                "rx_burst",
+                actor=self.agent.name,
+                category="driver",
+                start_ns=self.interface.system.sim.now,
+            )
         items, ns = self.pair.rx.poll(self.agent, max_packets)
         out = [(item.pkt, item.buf) for item in items if item.pkt is not CONTINUATION]
-        return out, ns
+        self.rx_packets += len(out)
+        self.rx_ns += ns
+        if span is not None:
+            span.args["received"] = len(out)
+            tracer.end(span, self.interface.system.sim.now + ns)
+        return RxResult(out, ns)
 
     # ------------------------------------------------------------------
     # PCIe-style bookkeeping (only when shared management is disabled)
@@ -163,15 +211,15 @@ class CcnicDriver:
         # Post blank RX buffers up to the target.
         deficit = post_target - self.pair.rx_posted
         if deficit > 0:
-            blanks, alloc_ns = self.alloc([self.interface.config.buf_size] * deficit)
-            ns += alloc_ns
-            if blanks:
-                items = [WorkItem(buf=b, length=0, pkt=None) for b in blanks]
+            blank = self.alloc([self.interface.config.buf_size] * deficit)
+            ns += blank.ns
+            if blank.bufs:
+                items = [WorkItem(buf=b, length=0, pkt=None) for b in blank.bufs]
                 accepted, produce_ns = self.pair.rx_post.produce(
                     self.agent, items, base_ns=ns
                 )
                 ns += produce_ns
                 self.pair.rx_posted += accepted
-                if accepted < len(blanks):
-                    ns += self.free(blanks[accepted:])
+                if accepted < blank.count:
+                    ns += self.free(list(blank.bufs[accepted:]))
         return ns

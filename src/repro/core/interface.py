@@ -11,11 +11,12 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.core.agent import NicQueueAgent
-from repro.core.config import CcnicConfig, DescLayout
+from repro.core.config import CcnicConfig
 from repro.core.driver import CcnicDriver
 from repro.core.pool import BufferPool
 from repro.core.ring import CoherentQueue
 from repro.errors import NicError
+from repro.obs.instrument import Instrumented, Observability
 from repro.platform.system import System
 
 
@@ -31,7 +32,7 @@ class QueuePair:
     agent: Optional[NicQueueAgent] = field(default=None, repr=False)
 
 
-class CcnicInterface:
+class CcnicInterface(Instrumented):
     """A CC-NIC device instance on a simulated system.
 
     Args:
@@ -117,6 +118,27 @@ class CcnicInterface:
     @property
     def queue_count(self) -> int:
         return len(self._pairs)
+
+    @property
+    def link(self):
+        """The interconnect host-NIC traffic crosses (UPI)."""
+        return self.system.link
+
+    # ------------------------------------------------------------------
+    def _obs_component(self) -> str:
+        return "ccnic"
+
+    def _register_metrics(self, registry) -> None:
+        registry.gauge(self.obs_name, "queue_count", fn=lambda: float(self.queue_count))
+
+    def _instrument_children(self, obs: Observability) -> None:
+        self.pool.instrument(obs)
+        for _index, pair in sorted(self._pairs.items()):
+            for queue in (pair.tx, pair.rx, pair.tx_comp, pair.rx_post):
+                if queue is not None:
+                    queue.instrument(obs)
+            if pair.agent is not None:
+                pair.agent.instrument(obs)
 
     def __repr__(self) -> str:
         return f"<CcnicInterface queues={len(self._pairs)} {self.config.desc_layout.value}>"

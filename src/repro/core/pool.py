@@ -26,18 +26,19 @@ host-only management.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence
+from typing import Deque, Dict, List, Sequence
 
 from repro.coherence.cache import CacheAgent
 from repro.core.buffers import Buffer
 from repro.core.config import CcnicConfig
 from repro.errors import PoolError
+from repro.obs.instrument import Instrumented
 from repro.platform.system import System
 from repro.sim.rng import make_rng
 from repro.sim.stats import Counter
 
 
-class BufferPool:
+class BufferPool(Instrumented):
     """Shared pool of packet buffers over a simulated memory region."""
 
     #: Cycles of core work per buffer handled in an alloc/free batch.
@@ -70,6 +71,23 @@ class BufferPool:
         self._stacks: Dict[str, List[Buffer]] = {}
         self._small_stacks: Dict[str, List[Buffer]] = {}
         self.stats = Counter()
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _obs_component(self) -> str:
+        return "pool"
+
+    def _register_metrics(self, registry) -> None:
+        registry.adopt_counters(self.obs_name, self.stats)
+        registry.gauge(
+            self.obs_name, "free_full_buffers", fn=lambda: float(len(self._shared))
+        )
+        registry.gauge(
+            self.obs_name,
+            "free_small_buffers",
+            fn=lambda: float(len(self._shared_small)),
+        )
 
     # ------------------------------------------------------------------
     # Public API (Fig 5 semantics: costs returned, never raised mid-op)

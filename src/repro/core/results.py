@@ -1,0 +1,92 @@
+"""Typed result objects for the data-plane burst API.
+
+The driver methods historically returned bare tuples (``(bufs, ns)``,
+``(sent, ns)``, ``(entries, ns)``), which made call sites positional and
+easy to mis-unpack. These frozen dataclasses name the fields — every
+result carries ``count`` and ``ns``, plus the payload (``bufs`` or
+``entries``) where one exists.
+
+Backward compatibility: each class still tuple-unpacks exactly like the
+old return value (``sent, ns = driver.tx_burst(...)``) via ``__iter__``.
+That path is deprecated; new code should use the named attributes.
+
+These objects are constructed on every burst call, including the empty
+polls that dominate a latency-bound run, so they are kept deliberately
+lean: two fields, ``count`` derived lazily, and the payload sequence
+stored as passed (drivers hand over a fresh list they never reuse).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence, Tuple
+
+from repro.core.buffers import Buffer
+
+# slots=True (3.10+) makes construction and attribute reads measurably
+# cheaper; on 3.9 the classes simply carry an instance dict instead.
+_DATACLASS_KW = {"frozen": True}
+if sys.version_info >= (3, 10):
+    _DATACLASS_KW["slots"] = True
+
+
+@dataclass(**_DATACLASS_KW)
+class AllocResult:
+    """Outcome of a buffer allocation.
+
+    ``count`` may be smaller than the number of requested sizes: pool
+    exhaustion yields a partial allocation (DPDK mempool semantics),
+    never an exception.
+    """
+
+    bufs: Sequence[Buffer]
+    ns: float
+
+    @property
+    def count(self) -> int:
+        return len(self.bufs)
+
+    def __bool__(self) -> bool:
+        return len(self.bufs) > 0
+
+    def __iter__(self) -> Iterator[Any]:
+        """Deprecated tuple-unpack compatibility: ``bufs, ns = ...``."""
+        yield list(self.bufs)
+        yield self.ns
+
+
+@dataclass(**_DATACLASS_KW)
+class TxResult:
+    """Outcome of a TX burst: packets accepted onto the ring."""
+
+    count: int
+    ns: float
+
+    def __bool__(self) -> bool:
+        return self.count > 0
+
+    def __iter__(self) -> Iterator[Any]:
+        """Deprecated tuple-unpack compatibility: ``sent, ns = ...``."""
+        yield self.count
+        yield self.ns
+
+
+@dataclass(**_DATACLASS_KW)
+class RxResult:
+    """Outcome of an RX poll: ``entries`` is (packet, buffer) pairs."""
+
+    entries: Sequence[Tuple[Any, Buffer]]
+    ns: float
+
+    @property
+    def count(self) -> int:
+        return len(self.entries)
+
+    def __bool__(self) -> bool:
+        return len(self.entries) > 0
+
+    def __iter__(self) -> Iterator[Any]:
+        """Deprecated tuple-unpack compatibility: ``entries, ns = ...``."""
+        yield list(self.entries)
+        yield self.ns

@@ -35,6 +35,7 @@ from typing import Any, List, Optional, Tuple
 from repro.coherence.cache import CacheAgent
 from repro.core.config import DescLayout
 from repro.errors import NicError
+from repro.obs.instrument import Instrumented
 from repro.platform.system import System
 
 #: Sentinel marking zero-padded slots under the blank-skip rule.
@@ -84,7 +85,7 @@ class _BurstMeter:
         return cost / self.mlp
 
 
-class CoherentQueue:
+class CoherentQueue(Instrumented):
     """One descriptor ring between a producer and a consumer agent."""
 
     #: Cycles of core work to build or parse one descriptor.
@@ -126,6 +127,17 @@ class CoherentQueue:
         self._tail_visible_at = 0.0    # when the published tail retires
         self.produced = 0
         self.consumed = 0
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _obs_component(self) -> str:
+        return f"queue.{self.name}"
+
+    def _register_metrics(self, registry) -> None:
+        registry.gauge(self.obs_name, "produced", fn=lambda: float(self.produced))
+        registry.gauge(self.obs_name, "consumed", fn=lambda: float(self.consumed))
+        registry.gauge(self.obs_name, "depth", fn=lambda: float(self.tail - self.head))
 
     # ------------------------------------------------------------------
     # Address helpers

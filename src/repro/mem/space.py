@@ -25,6 +25,7 @@ class AddressSpace:
         self._cursor = align_up(base, CACHE_LINE_SIZE)
         self._regions: List[Region] = []
         self._bases: List[int] = []
+        self._ends: List[int] = []
 
     def allocate(
         self,
@@ -57,6 +58,7 @@ class AddressSpace:
         index = bisect.bisect_left(self._bases, base)
         self._bases.insert(index, base)
         self._regions.insert(index, region)
+        self._ends.insert(index, region.end)
         return region
 
     def region_of(self, addr: int) -> Region:
@@ -72,13 +74,12 @@ class AddressSpace:
 
     def try_region_of(self, addr: int) -> Optional[Region]:
         """Like :meth:`region_of` but returns None for unmapped addresses."""
+        # Hot path (one call per modelled access): the parallel _ends
+        # list avoids a Region.contains() method call per lookup.
         index = bisect.bisect_right(self._bases, addr) - 1
-        if index < 0:
+        if index < 0 or addr >= self._ends[index]:
             return None
-        region = self._regions[index]
-        if region.contains(addr):
-            return region
-        return None
+        return self._regions[index]
 
     @property
     def regions(self) -> List[Region]:

@@ -30,10 +30,12 @@ from repro.coherence.cache import CacheAgent
 from repro.core.buffers import Buffer
 from repro.core.config import CcnicConfig
 from repro.core.pool import BufferPool
+from repro.core.results import AllocResult, RxResult, TxResult
 from repro.errors import NicError
 from repro.interconnect.link import Link
 from repro.interconnect.messages import MessageClass
 from repro.mem.region import Region
+from repro.obs.instrument import Instrumented, Observability
 from repro.pcie.dma import DmaEngine
 from repro.pcie.mmio import MmioPath
 from repro.platform.nicspecs import NicHardwareSpec
@@ -119,7 +121,7 @@ class _PcieQueue:
     waiting_rx: "Deque[Packet]" = field(default_factory=deque)
 
 
-class PcieNicInterface:
+class PcieNicInterface(Instrumented):
     """One PCIe NIC on the simulated host.
 
     Args:
@@ -191,6 +193,20 @@ class PcieNicInterface:
     def inject(self, queue_index: int, pkt: Packet, when: float = 0.0) -> None:
         """Deliver an externally generated packet to a queue's RX path."""
         self.queue(queue_index).wire.append((when, pkt))
+
+    @property
+    def queue_count(self) -> int:
+        return len(self._queues)
+
+    # ------------------------------------------------------------------
+    def _obs_component(self) -> str:
+        return f"pcie.{self.spec.name.lower()}"
+
+    def _register_metrics(self, registry) -> None:
+        registry.gauge(self.obs_name, "queue_count", fn=lambda: float(self.queue_count))
+
+    def _instrument_children(self, obs: Observability) -> None:
+        self.pool.instrument(obs)
 
     def __repr__(self) -> str:
         return f"<PcieNicInterface {self.spec.name} queues={len(self._queues)}>"
@@ -349,7 +365,7 @@ class _DeviceEngine:
         return ns
 
 
-class PcieNicDriver:
+class PcieNicDriver(Instrumented):
     """Host-side driver with the common burst API.
 
     Per-descriptor costs are substantially higher than CC-NIC's: PCIe
@@ -370,12 +386,27 @@ class PcieNicDriver:
         self.q = interface.queue(index)
         self.mmio = MmioPath(interface.spec, link=interface.link)
         self._rx_reap_count = 0
+        self.tx_packets = 0
+        self.rx_packets = 0
+        self.tx_ns = 0.0
+        self.rx_ns = 0.0
+
+    # ------------------------------------------------------------------
+    def _obs_component(self) -> str:
+        return f"driver.q{self.queue_index}"
+
+    def _register_metrics(self, registry) -> None:
+        registry.gauge(self.obs_name, "tx_packets", fn=lambda: float(self.tx_packets))
+        registry.gauge(self.obs_name, "rx_packets", fn=lambda: float(self.rx_packets))
+        registry.gauge(self.obs_name, "tx_ns", fn=lambda: self.tx_ns)
+        registry.gauge(self.obs_name, "rx_ns", fn=lambda: self.rx_ns)
 
     # ------------------------------------------------------------------
     # Buffers and payloads (host-local; no interconnect involvement)
     # ------------------------------------------------------------------
-    def alloc(self, sizes: Sequence[int]) -> Tuple[List[Buffer], float]:
-        return self.interface.pool.alloc(self.agent, sizes)
+    def alloc(self, sizes: Sequence[int]) -> AllocResult:
+        bufs, ns = self.interface.pool.alloc(self.agent, sizes)
+        return AllocResult(bufs, ns)
 
     def free(self, bufs: Sequence[Buffer]) -> float:
         return self.interface.pool.free(self.agent, bufs)
@@ -415,7 +446,7 @@ class PcieNicDriver:
         self,
         entries: Sequence[Tuple[Buffer, Packet]],
         base_ns: float = 0.0,
-    ) -> Tuple[int, float]:
+    ) -> TxResult:
         system = self.interface.system
         sim = system.sim
         q = self.q
@@ -423,7 +454,17 @@ class PcieNicDriver:
         space = config.ring_slots - len(q.tx_inflight) - len(q.tx_completed)
         accepted = list(entries)[: max(0, space)]
         if not accepted:
-            return 0, system.cycles(self.CYCLES_PER_DESC)
+            return TxResult(0, system.cycles(self.CYCLES_PER_DESC))
+        tracer = self.obs.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.begin(
+                "tx_burst",
+                actor=self.agent.name,
+                category="driver",
+                start_ns=sim.now + base_ns,
+                packets=len(entries),
+            )
         ns = 0.0
         inline_ok = self.interface.spec.inline_descriptors
         inline_count = 0
@@ -462,13 +503,28 @@ class PcieNicDriver:
             arrival = sim.now + base_ns + ns + self.interface.spec.pcie_one_way_ns \
                 + self.interface.spec.doorbell_coalesce_ns
             q.doorbells.append((arrival, q.host_tail))
-        return len(accepted), ns
+        self.tx_packets += len(accepted)
+        self.tx_ns += ns
+        if span is not None:
+            span.args["accepted"] = len(accepted)
+            tracer.end(span, sim.now + base_ns + ns)
+        return TxResult(len(accepted), ns)
 
-    def rx_burst(self, max_packets: int) -> Tuple[List[Tuple[Packet, Buffer]], float]:
+    def rx_burst(self, max_packets: int) -> RxResult:
         system = self.interface.system
         sim = system.sim
         q = self.q
         fabric = system.fabric
+        tracer = self.obs.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.begin(
+                "rx_burst",
+                actor=self.agent.name,
+                category="driver",
+                start_ns=sim.now,
+                max_packets=max_packets,
+            )
         out: List[Tuple[Packet, Buffer]] = []
         # Poll the completion line (DDIO-resident after a DMA write).
         ns = fabric.read(self.agent, q.rx_ring.base, 16)
@@ -481,7 +537,12 @@ class PcieNicDriver:
             ns += system.cycles(self.CYCLES_PER_DESC)
             out.append((comp.pkt, comp.buf))
             q.posted_blanks -= sum(1 for _seg in comp.buf.segments())
-        return out, ns
+        self.rx_packets += len(out)
+        self.rx_ns += ns
+        if span is not None:
+            span.args["received"] = len(out)
+            tracer.end(span, sim.now + ns)
+        return RxResult(out, ns)
 
     # ------------------------------------------------------------------
     def housekeeping(self, post_target: Optional[int] = None) -> float:
@@ -503,8 +564,9 @@ class PcieNicDriver:
         # Post blank RX buffers.
         deficit = target - q.posted_blanks
         if deficit >= 16 or (q.posted_blanks == 0 and deficit > 0):
-            blanks, alloc_ns = self.alloc([config.buf_size] * deficit)
-            ns += alloc_ns
+            blank = self.alloc([config.buf_size] * deficit)
+            blanks = list(blank.bufs)
+            ns += blank.ns
             for i, buf in enumerate(blanks):
                 slot = (q.host_rx_posted + i) % config.ring_slots
                 ns += fabric.write(self.agent, q.rx_ring.base + slot * 16, 16)

@@ -1,0 +1,85 @@
+"""Unified observability: metrics, simulated-time span tracing, exporters.
+
+``repro.obs`` is the measurement substrate every instrumentable
+component registers into. It has three layers:
+
+* :class:`MetricRegistry` — counters, gauges and histograms labeled by
+  component (``fabric``, ``pool``, ``driver.q0``, ...). Components
+  expose metrics through the :class:`Instrumented` mixin; existing
+  :class:`~repro.sim.stats.Counter` bags (the fabric's transaction
+  counters, the pool's stats) are *adopted* so the hot paths keep their
+  cheap dict increments and the registry reads them lazily at snapshot
+  time.
+* :class:`SpanTracer` — begin/end spans over **virtual** time with
+  parent linkage (a ``tx_burst`` span parents the per-descriptor
+  coherence-transaction instants recorded inside it). Generalizes the
+  debug :class:`~repro.sim.trace.Tracer`; zero-cost when disabled.
+* Exporters — serialize a whole run to JSON or CSV, and dump span
+  timelines in Chrome trace format (load via ``chrome://tracing`` or
+  https://ui.perfetto.dev).
+
+Typical wiring (the CLI's ``--metrics-out`` / ``--trace-out`` flags do
+exactly this)::
+
+    from repro.obs import MetricRegistry, Observability, SpanTracer
+    from repro.obs import export_chrome_trace, export_metrics_json
+
+    obs = Observability(metrics=MetricRegistry(), tracer=SpanTracer())
+    setup = build_interface(icx(), InterfaceKind.CCNIC, obs=obs)
+    run_point(setup, 64, 5000, obs=obs)
+    export_metrics_json(obs.metrics, "metrics.json")
+    export_chrome_trace(obs.tracer, "trace.json")
+
+By default every component carries the shared no-op
+:data:`~repro.obs.instrument.OBS_OFF` bundle: nothing is recorded and
+the per-call cost is a single attribute load plus a branch.
+"""
+
+from repro.obs.instrument import (
+    NULL_METRIC,
+    OBS_OFF,
+    Instrumented,
+    NullMetric,
+    NullRegistry,
+    NullTracer,
+    Observability,
+)
+from repro.obs.registry import (
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricRegistry,
+)
+from repro.obs.spans import Span, SpanTracer
+from repro.obs.export import (
+    export_chrome_trace,
+    export_metrics_csv,
+    export_metrics_json,
+    load_metrics_csv,
+    load_metrics_json,
+    metrics_rows,
+)
+from repro.obs.wire import instrument_all
+
+__all__ = [
+    "CounterMetric",
+    "GaugeMetric",
+    "HistogramMetric",
+    "Instrumented",
+    "MetricRegistry",
+    "NULL_METRIC",
+    "NullMetric",
+    "NullRegistry",
+    "NullTracer",
+    "OBS_OFF",
+    "Observability",
+    "Span",
+    "SpanTracer",
+    "export_chrome_trace",
+    "export_metrics_csv",
+    "export_metrics_json",
+    "instrument_all",
+    "load_metrics_csv",
+    "load_metrics_json",
+    "metrics_rows",
+]

@@ -1,0 +1,80 @@
+"""Serialize a run's telemetry to JSON, CSV and Chrome trace format.
+
+Metrics exports carry a ``schema`` marker so loaders can reject files
+from incompatible versions. CSV uses one flat row per metric
+(``component,metric,value``) so snapshots diff cleanly and load into
+pandas/spreadsheets; JSON preserves the nested
+``{component: {metric: value}}`` shape of
+:meth:`~repro.obs.registry.MetricRegistry.snapshot`.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Any, Dict, List, Tuple
+
+METRICS_SCHEMA = "repro.obs/metrics-v1"
+
+
+def metrics_rows(registry) -> List[Tuple[str, str, float]]:
+    """Flatten a registry snapshot into sorted (component, metric, value) rows."""
+    rows: List[Tuple[str, str, float]] = []
+    for component, section in registry.snapshot().items():
+        for name, value in section.items():
+            rows.append((component, name, value))
+    rows.sort()
+    return rows
+
+
+def export_metrics_json(registry, path: str) -> Dict[str, Any]:
+    """Write the registry snapshot as schema-wrapped JSON; returns the doc."""
+    doc = {"schema": METRICS_SCHEMA, "metrics": registry.snapshot()}
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return doc
+
+
+def load_metrics_json(path: str) -> Dict[str, Dict[str, float]]:
+    """Read a metrics JSON file back into ``{component: {metric: value}}``."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != METRICS_SCHEMA:
+        raise ValueError(f"not a metrics export: {path} (schema={doc.get('schema')!r})")
+    return doc["metrics"]
+
+
+def export_metrics_csv(registry, path: str) -> int:
+    """Write one flat ``component,metric,value`` row per metric; returns row count."""
+    rows = metrics_rows(registry)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["component", "metric", "value"])
+        writer.writerows(rows)
+    return len(rows)
+
+
+def load_metrics_csv(path: str) -> Dict[str, Dict[str, float]]:
+    """Read a metrics CSV back into ``{component: {metric: value}}``."""
+    out: Dict[str, Dict[str, float]] = {}
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames != ["component", "metric", "value"]:
+            raise ValueError(f"not a metrics CSV: {path} (header={reader.fieldnames})")
+        for row in reader:
+            out.setdefault(row["component"], {})[row["metric"]] = float(row["value"])
+    return out
+
+
+def export_chrome_trace(tracer, path: str) -> int:
+    """Write the tracer's span timeline as a Chrome trace JSON file.
+
+    Load in ``chrome://tracing`` or https://ui.perfetto.dev. Returns
+    the number of trace events written (including metadata rows).
+    """
+    doc = tracer.to_chrome()
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+        fh.write("\n")
+    return len(doc["traceEvents"])

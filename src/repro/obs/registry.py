@@ -1,0 +1,257 @@
+"""The live :class:`MetricRegistry` and its metric types.
+
+The registry is component-labeled: each instrumented object owns a
+namespace (``fabric``, ``pool``, ``driver.q0``, ...) under which its
+metrics live. Three kinds of metric exist:
+
+* :class:`CounterMetric` — monotonically increasing.
+* :class:`GaugeMetric` — last-set value, or a *collector* gauge backed
+  by a zero-argument callable read lazily at snapshot time. Collector
+  gauges are the preferred way to expose values a component already
+  maintains as plain attributes (``driver.tx_packets``): the hot path
+  stays a bare attribute increment.
+* :class:`HistogramMetric` — wraps :class:`repro.sim.stats.Histogram`;
+  snapshots flatten its summary into ``name.count``, ``name.mean``, ...
+
+Existing :class:`repro.sim.stats.Counter` bags can also be *adopted*
+(:meth:`MetricRegistry.adopt_counters`): the component keeps calling
+``counter.add`` exactly as before and the registry copies the bag out
+at snapshot time. This is how the coherence fabric's transaction
+counters appear in telemetry without touching the fabric hot path —
+the registry's ``fabric`` section is always value-equal to
+``fabric.snapshot_counters()``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.stats import Counter, Histogram
+
+
+class CounterMetric:
+    """A single monotonically increasing value."""
+
+    __slots__ = ("component", "name", "_value")
+
+    def __init__(self, component: str, name: str) -> None:
+        self.component = component
+        self.name = name
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment by ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+    def __repr__(self) -> str:
+        return f"CounterMetric({self.component}.{self.name}={self._value:g})"
+
+
+class GaugeMetric:
+    """A last-set value, optionally backed by a collector callable."""
+
+    __slots__ = ("component", "name", "fn", "_value")
+
+    def __init__(
+        self,
+        component: str,
+        name: str,
+        fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.component = component
+        self.name = name
+        self.fn = fn
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level (ignored by collector gauges)."""
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        if self.fn is not None:
+            return float(self.fn())
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+    def __repr__(self) -> str:
+        kind = "collector" if self.fn is not None else "set"
+        return f"GaugeMetric({self.component}.{self.name}, {kind})"
+
+
+class HistogramMetric:
+    """Sample distribution; snapshots flatten the summary statistics."""
+
+    __slots__ = ("component", "name", "hist")
+
+    def __init__(
+        self,
+        component: str,
+        name: str,
+        hist: Optional[Histogram] = None,
+    ) -> None:
+        self.component = component
+        self.name = name
+        self.hist = hist if hist is not None else Histogram(name)
+
+    def record(self, value: float) -> None:
+        """Add one sample."""
+        self.hist.record(value)
+
+    @property
+    def value(self) -> float:
+        """Sample count (histograms have no single scalar value)."""
+        return float(self.hist.count)
+
+    def items(self) -> List[Tuple[str, float]]:
+        """Flattened ``(suffix, value)`` summary rows; empty if no samples."""
+        if not self.hist.count:
+            return []
+        return [(key, val) for key, val in self.hist.summary().items()]
+
+    def reset(self) -> None:
+        self.hist = Histogram(self.name)
+
+    def __repr__(self) -> str:
+        return f"HistogramMetric({self.component}.{self.name}, n={self.hist.count})"
+
+
+class MetricRegistry:
+    """Component-labeled registry of counters, gauges and histograms."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, str], object] = {}
+        self._adopted: List[Tuple[str, Counter]] = []
+        self._component_counts: Dict[str, int] = {}
+
+    # -- component namespace management --------------------------------
+
+    def unique_component(self, component: str) -> str:
+        """Reserve a component label, suffixing ``#2``, ``#3``... on reuse.
+
+        Lets two systems (e.g. the kv study's host and device setups)
+        share one registry without their metrics colliding.
+        """
+        n = self._component_counts.get(component, 0) + 1
+        self._component_counts[component] = n
+        if n == 1:
+            return component
+        return f"{component}#{n}"
+
+    def components(self) -> List[str]:
+        """Sorted component labels with at least one metric."""
+        names = {component for component, _ in self._metrics}
+        names.update(component for component, _ in self._adopted)
+        return sorted(names)
+
+    # -- metric factories -----------------------------------------------
+
+    def counter(self, component: str, name: str) -> CounterMetric:
+        """Get-or-create a counter under ``component``."""
+        return self._get_or_create(component, name, CounterMetric)
+
+    def gauge(
+        self,
+        component: str,
+        name: str,
+        fn: Optional[Callable[[], float]] = None,
+    ) -> GaugeMetric:
+        """Get-or-create a gauge; pass ``fn`` for a collector gauge."""
+        key = (component, name)
+        existing = self._metrics.get(key)
+        if existing is not None:
+            if not isinstance(existing, GaugeMetric):
+                raise ValueError(f"metric {component}.{name} is {type(existing).__name__}")
+            if fn is not None:
+                existing.fn = fn
+            return existing
+        metric = GaugeMetric(component, name, fn)
+        self._metrics[key] = metric
+        return metric
+
+    def histogram(self, component: str, name: str) -> HistogramMetric:
+        """Get-or-create a histogram under ``component``."""
+        return self._get_or_create(component, name, HistogramMetric)
+
+    def adopt_counters(self, component: str, counters: Counter) -> None:
+        """Mirror an existing :class:`Counter` bag under ``component``.
+
+        The owner keeps mutating the bag directly; the registry reads
+        it lazily at :meth:`snapshot` time, so adoption adds zero cost
+        to the owner's hot path.
+        """
+        for adopted_component, adopted in self._adopted:
+            if adopted_component == component and adopted is counters:
+                return
+        self._adopted.append((component, counters))
+
+    def adopt_histogram(
+        self, component: str, name: str, histogram: Histogram
+    ) -> HistogramMetric:
+        """Wrap an externally owned :class:`Histogram` as a metric."""
+        key = (component, name)
+        existing = self._metrics.get(key)
+        if isinstance(existing, HistogramMetric):
+            existing.hist = histogram
+            return existing
+        metric = HistogramMetric(component, name, histogram)
+        self._metrics[key] = metric
+        return metric
+
+    def _get_or_create(self, component: str, name: str, cls):
+        key = (component, name)
+        existing = self._metrics.get(key)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(f"metric {component}.{name} is {type(existing).__name__}")
+            return existing
+        metric = cls(component, name)
+        self._metrics[key] = metric
+        return metric
+
+    # -- output ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """``{component: {metric: value}}`` for everything registered.
+
+        Histograms contribute flattened ``name.count``/``name.mean``/...
+        rows; adopted counter bags are copied verbatim.
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        for (component, name), metric in self._metrics.items():
+            section = out.setdefault(component, {})
+            if isinstance(metric, HistogramMetric):
+                for suffix, value in metric.items():
+                    section[f"{name}.{suffix}"] = value
+            else:
+                section[name] = metric.value
+        for component, counters in self._adopted:
+            section = out.setdefault(component, {})
+            section.update(counters.snapshot())
+        return out
+
+    def reset(self) -> None:
+        """Zero owned metrics and adopted counter bags."""
+        for metric in self._metrics.values():
+            metric.reset()
+        for _, counters in self._adopted:
+            counters.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricRegistry({len(self._metrics)} metrics, "
+            f"{len(self._adopted)} adopted bags)"
+        )

@@ -1,0 +1,29 @@
+"""Convenience wiring: instrument a batch of components at once.
+
+Duck-typed on purpose: anything exposing ``instrument(obs)`` is
+attached, anything else (including ``None`` slots from optional
+components) is skipped, so callers can pass a heterogeneous pile
+without filtering first.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.obs.instrument import Observability
+
+
+def instrument_all(obs: Observability, *objects) -> List[object]:
+    """Call ``instrument(obs)`` on every object that supports it.
+
+    Returns the objects that were actually instrumented, in order.
+    """
+    attached: List[object] = []
+    for obj in objects:
+        if obj is None:
+            continue
+        hook = getattr(obj, "instrument", None)
+        if callable(hook):
+            hook(obs)
+            attached.append(obj)
+    return attached

@@ -22,7 +22,7 @@ few cache lines, because the copy leaves the core free — the paper's
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Optional
 
 from repro.coherence.cache import CacheAgent

@@ -17,7 +17,6 @@ Latency semantics:
 
 from __future__ import annotations
 
-from repro.coherence.cache import CacheAgent
 from repro.errors import ConfigError
 from repro.interconnect.link import Link
 from repro.interconnect.messages import MessageClass

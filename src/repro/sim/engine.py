@@ -25,6 +25,7 @@ import heapq
 from typing import Callable, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
+from repro.obs.instrument import Instrumented
 
 #: Type of the generators the engine runs.
 ProcessBody = Generator[float, None, None]
@@ -65,7 +66,7 @@ class Process:
         return f"<Process {self.name!r} pid={self.pid} {state}>"
 
 
-class Simulator:
+class Simulator(Instrumented):
     """Event loop owning the virtual clock.
 
     The clock starts at 0.0 ns and only moves forward. All model objects
@@ -79,6 +80,21 @@ class Simulator:
         self._seq = 0
         self._processes: list[Process] = []
         self.events_executed = 0
+
+    def _obs_component(self) -> str:
+        return "sim"
+
+    def _register_metrics(self, registry) -> None:
+        registry.gauge(self.obs_name, "now_ns", fn=lambda: self.now)
+        registry.gauge(
+            self.obs_name, "events_executed", fn=lambda: float(self.events_executed)
+        )
+        registry.gauge(self.obs_name, "pending_events", fn=lambda: float(self.pending))
+        registry.gauge(
+            self.obs_name,
+            "alive_processes",
+            fn=lambda: float(len(list(self.alive_processes()))),
+        )
 
     # ------------------------------------------------------------------
     # Scheduling

@@ -20,7 +20,7 @@ from __future__ import annotations
 import contextlib
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Iterator, List, Optional
+from typing import Callable, Deque, Iterator, List
 
 
 @dataclass(frozen=True)

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.errors import WorkloadError
+from repro.obs.instrument import Instrumented
 from repro.sim.rng import make_rng
 from repro.sim.stats import Histogram
 from repro.workloads.packets import Packet
@@ -74,7 +75,7 @@ class LoopbackResult:
         )
 
 
-class LoopbackApp:
+class LoopbackApp(Instrumented):
     """One application thread driving one queue pair.
 
     Args:
@@ -133,11 +134,31 @@ class LoopbackApp:
         self.done = False
 
     # ------------------------------------------------------------------
+    def _obs_component(self) -> str:
+        return "trafficgen"
+
+    def _register_metrics(self, registry) -> None:
+        result = self.result
+        registry.gauge(self.obs_name, "sent", fn=lambda: float(result.sent))
+        registry.gauge(self.obs_name, "received", fn=lambda: float(result.received))
+        registry.gauge(
+            self.obs_name, "bytes_received", fn=lambda: float(result.bytes_received)
+        )
+        registry.gauge(
+            self.obs_name,
+            "backpressure_events",
+            fn=lambda: float(result.backpressure_events),
+        )
+        registry.adopt_histogram(self.obs_name, "latency_ns", result.latency)
+
+    # ------------------------------------------------------------------
     def run(self):
         """Generator body: the application polling loop."""
-        system = self.driver.interface.system
+        driver = self.driver
+        system = driver.interface.system
         sim = system.sim
         result = self.result
+        rx_batch = self.rx_batch
         interval = None
         if self.offered_mpps is not None:
             interval = 1e3 / self.offered_mpps  # ns per packet
@@ -159,9 +180,10 @@ class LoopbackApp:
                 if self.inflight is not None:
                     burst = min(burst, self.inflight - outstanding)
                 sizes = [self.pkt_size] * burst
-                bufs, cost = self.driver.alloc(sizes)
-                ns += cost
-                ns += self.driver.write_payloads([(buf, self.pkt_size) for buf in bufs])
+                blank = driver.alloc(sizes)
+                bufs = blank.bufs
+                ns += blank.ns
+                ns += driver.write_payloads([(buf, self.pkt_size) for buf in bufs])
                 for buf in bufs:
                     ns += system.cycles(APP_CYCLES_PER_PKT)
                     pkt = Packet(size=self.pkt_size, tx_ns=sim.now + ns)
@@ -181,21 +203,22 @@ class LoopbackApp:
                         next_send += interval * burst
 
             if pending:
-                sent, cost = self.driver.tx_burst(pending, base_ns=ns)
-                ns += cost
-                if sent:
-                    result.sent += sent
-                    del pending[:sent]
+                tx = driver.tx_burst(pending, base_ns=ns)
+                ns += tx.ns
+                if tx.count:
+                    result.sent += tx.count
+                    del pending[: tx.count]
                 if pending:
                     result.backpressure_events += 1
 
             # ---- Receive.
-            received, cost = self.driver.rx_burst(self.rx_batch)
-            ns += cost
-            if received:
+            rx = driver.rx_burst(rx_batch)
+            ns += rx.ns
+            entries = rx.entries
+            if entries:
                 bufs_to_free = []
-                ns += self.driver.read_payloads([buf for _pkt, buf in received])
-                for pkt, buf in received:
+                ns += driver.read_payloads([buf for _pkt, buf in entries])
+                for pkt, buf in entries:
                     ns += system.cycles(APP_CYCLES_PER_PKT)
                     pkt.rx_ns = sim.now + ns
                     result.received += 1
@@ -208,9 +231,9 @@ class LoopbackApp:
                         result._measured += 1
                         result._measured_bytes += pkt.size
                         result.window_end_ns = sim.now + ns
-                ns += self.driver.free(bufs_to_free)
+                ns += driver.free(bufs_to_free)
 
-            ns += self.driver.housekeeping()
+            ns += driver.housekeeping()
             yield max(ns, 1.0)
         self.done = True
 
@@ -227,6 +250,7 @@ def run_loopback(
     max_sim_ns: float = 1e9,
     arrivals: str = "paced",
     seed: int = 0,
+    obs=None,
 ) -> LoopbackResult:
     """Convenience wrapper: spawn one app on a started interface and run."""
     app = LoopbackApp(
@@ -240,6 +264,8 @@ def run_loopback(
         arrivals=arrivals,
         seed=seed,
     )
+    if obs is not None and obs.enabled:
+        app.instrument(obs)
     system.sim.spawn(app.run(), name="loopback-app")
     system.sim.run(until=max_sim_ns, stop_when=lambda: app.done)
     return app.result

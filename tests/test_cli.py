@@ -53,6 +53,45 @@ class TestCommands:
         assert "loopback" in capsys.readouterr().out
 
 
+class TestTelemetryFlags:
+    def test_loopback_metrics_and_trace_out(self, capsys, tmp_path):
+        from repro.obs import load_metrics_json
+
+        metrics_path = str(tmp_path / "m.json")
+        trace_path = str(tmp_path / "t.json")
+        assert main(["loopback", "--packets", "300", "--inflight", "8",
+                     "--batch", "4", "--metrics-out", metrics_path,
+                     "--trace-out", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        metrics = load_metrics_json(metrics_path)
+        assert "fabric" in metrics and "trafficgen" in metrics
+        assert metrics["trafficgen"]["received"] == 300.0
+        import json
+        with open(trace_path) as fh:
+            doc = json.load(fh)
+        assert doc["traceEvents"], "trace should contain events"
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_loopback_metrics_csv(self, capsys, tmp_path):
+        from repro.obs import load_metrics_csv
+
+        path = str(tmp_path / "m.csv")
+        assert main(["loopback", "--packets", "200", "--inflight", "4",
+                     "--batch", "4", "--metrics-out", path]) == 0
+        metrics = load_metrics_csv(path)
+        assert "fabric" in metrics
+
+    def test_counters_reads_registry(self, capsys, tmp_path):
+        path = str(tmp_path / "c.json")
+        assert main(["counters", "--packets", "400",
+                     "--metrics-out", path]) == 0
+        out = capsys.readouterr().out
+        assert "read" in out
+        from repro.obs import load_metrics_json
+        assert "fabric" in load_metrics_json(path)
+
+
 class TestValidateCommand:
     def test_fast_validate(self, capsys):
         assert main(["validate", "--fast"]) == 0

@@ -6,8 +6,6 @@ linearly while the interconnect is unsaturated, and the shared pool and
 fabric must stay consistent under concurrency.
 """
 
-import pytest
-
 from repro.core import CcnicConfig, CcnicInterface
 from repro.platform import System, icx
 from repro.workloads.trafficgen import LoopbackApp

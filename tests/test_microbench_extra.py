@@ -1,7 +1,5 @@
 """Additional microbenchmark-harness behaviours."""
 
-import pytest
-
 from repro.analysis.microbench import (
     pingpong,
     stream_throughput,
