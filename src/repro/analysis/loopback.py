@@ -63,8 +63,15 @@ def build_interface(
     link_bandwidth_factor: float = 1.0,
     ring_slots: int = 1024,
     obs: Optional[Observability] = None,
+    faults=None,
 ) -> LoopbackSetup:
-    """Instantiate one comparison point with a single queue pair."""
+    """Instantiate one comparison point with a single queue pair.
+
+    ``faults`` is an optional :class:`repro.faults.FaultInjector`; it is
+    attached to the system link, the coherence fabric, and the interface
+    so every injection hook sees the same schedule, and it joins the
+    telemetry cascade.
+    """
     system = System(
         spec,
         same_socket=same_socket,
@@ -90,10 +97,16 @@ def build_interface(
         interface = PcieNicInterface(system, nic_spec)
         driver = interface.driver(0)
         interface.start()
+    if faults is not None:
+        system.link.faults = faults
+        system.fabric.faults = faults
+        interface.faults = faults
+        if getattr(interface, "link", None) is not system.link:
+            interface.link.faults = faults  # the PCIe lane group
     if obs is not None and obs.enabled:
         # Instrument after start() so the interface cascade reaches the
         # per-pair NIC agents spawned there.
-        instrument_all(obs, system.sim, system.fabric, interface, driver)
+        instrument_all(obs, system.sim, system.fabric, interface, driver, faults)
     return LoopbackSetup(system=system, interface=interface, driver=driver, kind=kind)
 
 
@@ -106,6 +119,8 @@ def run_point(
     tx_batch: int = 32,
     rx_batch: int = 32,
     obs: Optional[Observability] = None,
+    recovery=None,
+    max_sim_ns: float = 1e9,
 ) -> LoopbackResult:
     """Run one loopback measurement on a built setup."""
     return run_loopback(
@@ -118,6 +133,8 @@ def run_point(
         tx_batch=tx_batch,
         rx_batch=rx_batch,
         obs=obs,
+        recovery=recovery,
+        max_sim_ns=max_sim_ns,
     )
 
 

@@ -292,15 +292,18 @@ def kv_thread_study(
     probe_mops: float = 50.0,
     nic_cap_mops: Optional[float] = None,
     obs=None,
+    faults=None,
 ) -> KvStudy:
     """Measure one server thread in detail and compose the curve.
 
     ``nic_cap_mops`` defaults to the CX6 packet-engine limit divided by
     the average packets per operation — both deployments forward through
-    the same CX6, so the peak is shared (§5.7).
+    the same CX6, so the peak is shared (§5.7). ``faults`` is an
+    optional :class:`repro.faults.FaultInjector` attached to the built
+    system.
     """
     setup = build_interface(
-        spec, kind if kind.is_coherent else InterfaceKind.CX6, obs=obs
+        spec, kind if kind.is_coherent else InterfaceKind.CX6, obs=obs, faults=faults
     )
     app = KvServerApp(setup, workload, offered_mops=probe_mops, n_ops=n_ops)
     app.run()

@@ -235,10 +235,15 @@ def rpc_thread_study(
     probe_mops: float = 60.0,
     nic_cap_mops: Optional[float] = None,
     obs=None,
+    faults=None,
 ) -> RpcStudy:
-    """Measure one fast-path thread; compose the thread-count answer."""
+    """Measure one fast-path thread; compose the thread-count answer.
+
+    ``faults`` is an optional :class:`repro.faults.FaultInjector`
+    attached to the built system.
+    """
     setup = build_interface(
-        spec, kind if kind.is_coherent else InterfaceKind.CX6, obs=obs
+        spec, kind if kind.is_coherent else InterfaceKind.CX6, obs=obs, faults=faults
     )
     fastpath = TasFastPath(setup, n_flows=n_flows, offered_mops=probe_mops, n_ops=n_ops)
     fastpath.run()

@@ -14,6 +14,9 @@ Commands mirror the measurement tooling used throughout the evaluation:
     Run the application studies and print thread-count results.
 ``table1``
     Print the interconnect bandwidth comparison.
+``faults``
+    Run a fault-injection loopback (canned or file-supplied plan) and
+    print the injection and recovery summary.
 """
 
 from __future__ import annotations
@@ -26,6 +29,8 @@ from typing import List, Optional
 
 from repro.analysis import InterfaceKind, format_table
 from repro.analysis.loopback import build_interface, run_point, wire_bytes_per_packet
+from repro.core.recovery import RecoveryPolicy
+from repro.faults import FAULT_KINDS, FaultInjector, FaultPlan
 from repro.obs import (
     MetricRegistry,
     Observability,
@@ -112,6 +117,58 @@ def _export_obs(obs: Optional[Observability], args: argparse.Namespace) -> None:
         print(f"wrote {events} trace events to {args.trace_out}")
 
 
+# ----------------------------------------------------------------------
+# Fault-injection plumbing (shared by loopback / kv / rpc / faults)
+# ----------------------------------------------------------------------
+def _add_fault_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--fault-plan", default=None, metavar="FILE",
+        help="inject faults from a JSON/TOML plan ('canned' for the built-in)",
+    )
+    sub.add_argument(
+        "--fault-seed", type=int, default=0, metavar="N",
+        help="seed for the fault injector's RNG stream",
+    )
+
+
+def _load_plan(path: str) -> FaultPlan:
+    if path == "canned":
+        return FaultPlan.canned()
+    if not os.path.isfile(path):
+        raise SystemExit(f"error: fault plan {path!r}: no such file")
+    return FaultPlan.load(path)
+
+
+def _make_faults(args: argparse.Namespace):
+    """Build (injector, recovery) from the fault args, or (None, None)."""
+    if getattr(args, "fault_plan", None) is None:
+        return None, None
+    plan = _load_plan(args.fault_plan)
+    only = getattr(args, "only", None)
+    if only:
+        plan = plan.restricted(only)
+        if not len(plan):
+            raise SystemExit(f"error: plan has no events of kind(s) {only}")
+    faults = FaultInjector(plan, seed=args.fault_seed)
+    return faults, RecoveryPolicy()
+
+
+def _fault_summary_rows(setup, result, faults) -> list:
+    rows = [
+        ("dropped packets", result.dropped),
+        ("faults injected", faults.total_injected()),
+    ]
+    for kind, value in sorted(faults.counters.snapshot().items()):
+        rows.append((kind, value))
+    driver = setup.driver
+    rows += [
+        ("tx retries", driver.tx_retries),
+        ("tx timeouts", driver.tx_timeouts),
+        ("watchdog resets", driver.watchdog_resets),
+    ]
+    return rows
+
+
 @contextlib.contextmanager
 def _maybe_trace_fabric(obs: Optional[Observability], fabric):
     """Record per-access coherence instants while tracing is on."""
@@ -127,6 +184,7 @@ def cmd_loopback(args: argparse.Namespace) -> int:
     spec = _platform(args.platform)
     kind = _kind(args.interface)
     obs = _make_obs(args)
+    faults, recovery = _make_faults(args)
     setup = build_interface(
         spec,
         kind,
@@ -134,6 +192,7 @@ def cmd_loopback(args: argparse.Namespace) -> int:
         link_latency_factor=args.latency_factor,
         link_bandwidth_factor=args.bandwidth_factor,
         obs=obs,
+        faults=faults,
     )
     with _maybe_trace_fabric(obs, setup.system.fabric):
         result = run_point(
@@ -145,23 +204,70 @@ def cmd_loopback(args: argparse.Namespace) -> int:
             tx_batch=args.batch,
             rx_batch=args.batch,
             obs=obs,
+            recovery=recovery,
         )
     d0, d1 = wire_bytes_per_packet(setup, result)
+    rows = [
+        ("received packets", result.received),
+        ("throughput [Mpps]", result.mpps),
+        ("throughput [Gbps]", result.gbps),
+        ("min latency [ns]", result.latency.minimum),
+        ("median latency [ns]", result.latency.median),
+        ("p99 latency [ns]", result.latency.percentile(99)),
+        ("wire bytes/pkt (dir0)", d0),
+        ("wire bytes/pkt (dir1)", d1),
+    ]
+    if faults is not None:
+        rows += _fault_summary_rows(setup, result, faults)
     print(format_table(
         ["Metric", "Value"],
-        [
-            ("received packets", result.received),
-            ("throughput [Mpps]", result.mpps),
-            ("throughput [Gbps]", result.gbps),
-            ("min latency [ns]", result.latency.minimum),
-            ("median latency [ns]", result.latency.median),
-            ("p99 latency [ns]", result.latency.percentile(99)),
-            ("wire bytes/pkt (dir0)", d0),
-            ("wire bytes/pkt (dir1)", d1),
-        ],
+        rows,
         title=f"{kind.value} loopback, {args.size}B packets on {spec.name}",
     ))
     _export_obs(obs, args)
+    return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Fault-injection smoke run: canned plan, loopback, full summary."""
+    spec = _platform(args.platform)
+    kind = _kind(args.interface)
+    obs = _make_obs(args)
+    if args.fault_plan is None:
+        args.fault_plan = "canned"
+    faults, recovery = _make_faults(args)
+    setup = build_interface(spec, kind, obs=obs, faults=faults)
+    with _maybe_trace_fabric(obs, setup.system.fabric):
+        result = run_point(
+            setup,
+            pkt_size=args.size,
+            n_packets=args.packets,
+            inflight=args.inflight,
+            tx_batch=args.batch,
+            rx_batch=args.batch,
+            obs=obs,
+            recovery=recovery,
+        )
+    completed = result.received + result.dropped
+    rows = [
+        ("plan", faults.plan.name),
+        ("fault seed", args.fault_seed),
+        ("offered packets", args.packets),
+        ("completed (rx+dropped)", completed),
+        ("received packets", result.received),
+        ("goodput [Mpps]", result.mpps),
+        ("median latency [ns]", result.latency.median),
+    ]
+    rows += _fault_summary_rows(setup, result, faults)
+    print(format_table(
+        ["Metric", "Value"],
+        rows,
+        title=f"{kind.value} fault injection on {spec.name}",
+    ))
+    _export_obs(obs, args)
+    if completed < args.packets or result.received == 0:
+        print("FAIL: run did not recover (incomplete window or zero goodput)")
+        return 1
     return 0
 
 
@@ -239,7 +345,12 @@ def cmd_kv(args: argparse.Namespace) -> int:
     obs = _make_obs(args)
     rows = []
     for kind in (InterfaceKind.CX6, InterfaceKind.CCNIC):
-        study = kv_thread_study(spec, kind, workload, n_ops=args.ops, obs=obs)
+        # Fresh injector per comparison point: one-shot NIC events and
+        # the RNG stream must not be shared between the two systems.
+        faults, _recovery = _make_faults(args)
+        study = kv_thread_study(
+            spec, kind, workload, n_ops=args.ops, obs=obs, faults=faults
+        )
         rows.append((kind.value, study.per_thread_mops, study.peak_mops,
                      study.threads_to_saturate(spec)))
     print(format_table(
@@ -258,7 +369,9 @@ def cmd_rpc(args: argparse.Namespace) -> int:
     obs = _make_obs(args)
     rows = []
     for kind in (InterfaceKind.CX6, InterfaceKind.CCNIC):
-        study = rpc_thread_study(spec, kind, n_ops=args.ops, obs=obs)
+        # Fresh injector per comparison point (see cmd_kv).
+        faults, _recovery = _make_faults(args)
+        study = rpc_thread_study(spec, kind, n_ops=args.ops, obs=obs, faults=faults)
         rows.append((kind.value, study.per_thread_mops, study.peak_mops,
                      study.threads_to_saturate()))
     print(format_table(
@@ -329,7 +442,23 @@ def build_parser() -> argparse.ArgumentParser:
     lb.add_argument("--latency-factor", type=float, default=1.0)
     lb.add_argument("--bandwidth-factor", type=float, default=1.0)
     _add_obs_args(lb)
+    _add_fault_args(lb)
     lb.set_defaults(func=cmd_loopback)
+
+    fl = sub.add_parser("faults", help="fault-injection loopback study")
+    fl.add_argument("--platform", default="icx", choices=["icx", "spr"])
+    fl.add_argument("--interface", default="ccnic")
+    fl.add_argument("--size", type=int, default=256)
+    fl.add_argument("--packets", type=int, default=6000)
+    fl.add_argument("--inflight", type=int, default=64)
+    fl.add_argument("--batch", type=int, default=32)
+    fl.add_argument(
+        "--only", action="append", metavar="KIND", choices=list(FAULT_KINDS),
+        help="restrict the plan to these fault kinds (repeatable)",
+    )
+    _add_obs_args(fl)
+    _add_fault_args(fl)
+    fl.set_defaults(func=cmd_faults)
 
     mb = sub.add_parser("microbench", help="Figs 2/3/7/8 microbenchmarks")
     mb.add_argument("--platform", default="icx", choices=["icx", "spr"])
@@ -347,12 +476,14 @@ def build_parser() -> argparse.ArgumentParser:
     kv.add_argument("--distribution", default="ads", choices=["ads", "geo"])
     kv.add_argument("--ops", type=int, default=2000)
     _add_obs_args(kv)
+    _add_fault_args(kv)
     kv.set_defaults(func=cmd_kv)
 
     rpc = sub.add_parser("rpc", help="TCP RPC thread study")
     rpc.add_argument("--platform", default="icx", choices=["icx", "spr"])
     rpc.add_argument("--ops", type=int, default=2000)
     _add_obs_args(rpc)
+    _add_fault_args(rpc)
     rpc.set_defaults(func=cmd_rpc)
 
     t1 = sub.add_parser("table1", help="interconnect bandwidth table")

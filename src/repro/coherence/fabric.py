@@ -70,6 +70,10 @@ class CoherenceFabric(Instrumented):
         write_pipeline: Store-buffer overlap factor for write misses.
     """
 
+    #: Optional :class:`repro.faults.FaultInjector`. Class-level None so
+    #: fault-free runs skip the snoop hooks entirely.
+    faults = None
+
     def __init__(
         self,
         sim: Simulator,
@@ -419,6 +423,8 @@ class CoherenceFabric(Instrumented):
                 cls, direction=1 - agent.socket, actor=agent.name
             )
             self._count(agent.socket, "rfo" if write else "read")
+            if self.faults is not None:
+                self._pending_queue += self._snoop_disruption(agent)
         else:
             latency = self.cost.local_cache
 
@@ -448,6 +454,8 @@ class CoherenceFabric(Instrumented):
             latency += self.link.occupy(MessageClass.SNOOP, direction=agent.socket, actor=agent.name)
             latency += self.link.occupy(cls, direction=1 - agent.socket, actor=agent.name)
             self._count(agent.socket, "rfo" if write else "read")
+            if self.faults is not None:
+                latency += self._snoop_disruption(agent)
         new_state = LineState.MODIFIED if write else LineState.EXCLUSIVE
         self._install(agent, line, new_state, region)
         return latency
@@ -499,6 +507,8 @@ class CoherenceFabric(Instrumented):
                 MessageClass.ACK, direction=1 - agent.socket, actor=agent.name
             )
             self._count(agent.socket, "rfo")
+            if self.faults is not None:
+                self._pending_queue += self._snoop_disruption(agent)
             return self.cost.remote_invalidate
         return self.cost.local_invalidate
 
@@ -597,6 +607,24 @@ class CoherenceFabric(Instrumented):
             self._install(agent, line, LineState.SHARED, region)
 
     # ------------------------------------------------------------------
+    def _snoop_disruption(self, agent: CacheAgent) -> float:
+        """Extra snoop latency from the fault injector, if any.
+
+        A delayed response just adds its ``extra_ns``. A NACK makes the
+        requester re-issue the snoop after the turnaround, so the retry
+        message is charged on the link a second time.
+        """
+        fault = self.faults.snoop_decide(self.sim.now)
+        if fault is None:
+            return 0.0
+        extra = fault.extra_ns
+        if fault.reissue:
+            extra += self.link.occupy(
+                MessageClass.SNOOP, direction=agent.socket, actor=agent.name
+            )
+            self._count(agent.socket, "snoop_retry")
+        return extra
+
     def _count(self, socket: int, what: str) -> None:
         self.counters.add(f"s{socket}.{what}")
 

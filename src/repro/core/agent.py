@@ -49,6 +49,11 @@ class NicQueueAgent(Instrumented):
         self.tx_packets = 0
         self.rx_packets = 0
         self.busy_ns = 0.0
+        # Fault state: a reset wedges the device (it stops serving its
+        # rings and drops arrivals) until the host driver's watchdog
+        # calls reinit(). lost_packets counts wire drops from resets.
+        self.wedged = False
+        self.lost_packets = 0
 
     # ------------------------------------------------------------------
     def _obs_component(self) -> str:
@@ -58,6 +63,9 @@ class NicQueueAgent(Instrumented):
         registry.gauge(self.obs_name, "tx_packets", fn=lambda: float(self.tx_packets))
         registry.gauge(self.obs_name, "rx_packets", fn=lambda: float(self.rx_packets))
         registry.gauge(self.obs_name, "busy_ns", fn=lambda: self.busy_ns)
+        registry.gauge(
+            self.obs_name, "lost_packets", fn=lambda: float(self.lost_packets)
+        )
 
     # ------------------------------------------------------------------
     def run(self):
@@ -65,6 +73,20 @@ class NicQueueAgent(Instrumented):
         sim = self.interface.system.sim
         config = self.interface.config
         while True:
+            faults = self.interface.faults
+            if faults is not None:
+                fault = faults.nic_decide(self.queue_index, sim.now)
+                if fault is not None:
+                    if fault.kind == "nic_reset":
+                        self._device_reset()
+                    yield fault.duration_ns
+                    continue
+                if self.wedged:
+                    # Arrivals fall on the floor until the host watchdog
+                    # reinitializes this queue.
+                    self.lost_packets += len(self._take_arrived(sim.now))
+                    yield IDLE_GAP_NS
+                    continue
             busy = False
             ns = 0.0
             # --- TX: consume descriptors, read payloads, transmit.
@@ -85,6 +107,27 @@ class NicQueueAgent(Instrumented):
                 yield ns
             if not busy:
                 yield IDLE_GAP_NS
+
+    # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+    def _device_reset(self) -> None:
+        """Lose all on-chip state: wire packets drop, the device wedges.
+
+        Blank buffers the device had already fetched from the rx_post
+        ring stay parked in ``_blanks`` — they are host pool memory, and
+        :meth:`reinit` hands them back so the watchdog can free them.
+        """
+        self.wedged = True
+        self.lost_packets += len(self._wire)
+        self._wire.clear()
+
+    def reinit(self) -> List[Buffer]:
+        """Host-driven recovery: unwedge and surrender orphaned blanks."""
+        self.wedged = False
+        orphaned = list(self._blanks)
+        self._blanks.clear()
+        return orphaned
 
     # ------------------------------------------------------------------
     # TX path

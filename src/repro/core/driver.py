@@ -17,6 +17,7 @@ from typing import List, Sequence, Tuple
 
 from repro.coherence.cache import CacheAgent
 from repro.core.buffers import Buffer
+from repro.core.recovery import RecoverableDriver
 from repro.core.results import AllocResult, RxResult, TxResult
 from repro.core.ring import WorkItem
 from repro.errors import NicError
@@ -27,7 +28,7 @@ from repro.workloads.packets import Packet
 CONTINUATION = "cont"
 
 
-class CcnicDriver(Instrumented):
+class CcnicDriver(RecoverableDriver, Instrumented):
     """Host-side API for one queue pair of a :class:`CcnicInterface`."""
 
     def __init__(self, interface, queue_index: int, host_agent: CacheAgent) -> None:
@@ -40,6 +41,8 @@ class CcnicDriver(Instrumented):
         self.rx_packets = 0
         self.tx_ns = 0.0
         self.rx_ns = 0.0
+        self._init_recovery_state()
+        self._agent_losses_taken = 0
 
     # ------------------------------------------------------------------
     # Telemetry
@@ -52,6 +55,7 @@ class CcnicDriver(Instrumented):
         registry.gauge(self.obs_name, "rx_packets", fn=lambda: float(self.rx_packets))
         registry.gauge(self.obs_name, "tx_ns", fn=lambda: self.tx_ns)
         registry.gauge(self.obs_name, "rx_ns", fn=lambda: self.rx_ns)
+        self._register_recovery_metrics(registry)
 
     # ------------------------------------------------------------------
     # Buffers and payloads
@@ -188,6 +192,71 @@ class CcnicDriver(Instrumented):
             span.args["received"] = len(out)
             tracer.end(span, self.interface.system.sim.now + ns)
         return RxResult(out, ns)
+
+    # ------------------------------------------------------------------
+    # Recovery (inert until configure_recovery is called)
+    # ------------------------------------------------------------------
+    def watchdog(self) -> float:
+        """Reset the queue pair if the TX ring has stopped making progress.
+
+        Called from the application's housekeeping pass; returns the ns
+        the check (and any reset) cost. A wedged NIC leaves descriptors
+        parked with the consumed count frozen — exactly what
+        :class:`RingWatchdog` watches for.
+        """
+        if self._watchdog is None:
+            return 0.0
+        sim = self.interface.system.sim
+        tx = self.pair.tx
+        if not self._watchdog.stalled(sim.now, tx.tail - tx.head, tx.consumed):
+            return 0.0
+        ns = self._reset_rings()
+        self._watchdog.reset(sim.now)
+        return ns
+
+    def _reset_rings(self) -> float:
+        """Reinitialize every ring of the pair and revive the NIC agent.
+
+        Abandoned descriptors are reclaimed: their buffers (including
+        blanks the device had fetched) go back to the pool, and every
+        abandoned data packet is counted so the application can write
+        the loss off against its in-flight window.
+        """
+        pair = self.pair
+        lost_packets = 0
+        to_free: List[Buffer] = []
+        for queue in (pair.tx, pair.rx, pair.tx_comp, pair.rx_post):
+            if queue is None:
+                continue
+            for item in queue.reinitialize():
+                if item.pkt is not None and item.pkt is not CONTINUATION:
+                    lost_packets += 1
+                if item.buf is not None:
+                    to_free.append(item.buf)
+        pair.rx_posted = 0
+        if pair.agent is not None:
+            to_free.extend(pair.agent.reinit())
+        ns = self._free_abandoned(to_free)
+        self.watchdog_resets += 1
+        self.reset_dropped += lost_packets
+        self._reset_losses += lost_packets
+        return ns
+
+    def take_reset_losses(self) -> int:
+        """Packets lost to NIC resets since the last call.
+
+        Covers descriptors abandoned during ring reinitialization and
+        packets the device dropped from the wire while wedged; the
+        traffic generator writes these off so its closed-loop window
+        refills instead of deadlocking.
+        """
+        lost = self._reset_losses
+        self._reset_losses = 0
+        agent = self.pair.agent
+        if agent is not None:
+            lost += agent.lost_packets - self._agent_losses_taken
+            self._agent_losses_taken = agent.lost_packets
+        return lost
 
     # ------------------------------------------------------------------
     # PCIe-style bookkeeping (only when shared management is disabled)

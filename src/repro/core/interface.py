@@ -41,6 +41,10 @@ class CcnicInterface(Instrumented):
         seed: Seed for the pool's non-sequential fill order.
     """
 
+    #: Optional :class:`repro.faults.FaultInjector` consulted by the
+    #: NIC agents for stall/reset events. Class-level None: fault-free.
+    faults = None
+
     def __init__(self, system: System, config: Optional[CcnicConfig] = None, seed: int = 0) -> None:
         self.system = system
         self.config = config or CcnicConfig()

@@ -339,6 +339,31 @@ class CoherentQueue(Instrumented):
             self.head += 1
         return out, ns
 
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def reinitialize(self) -> List[WorkItem]:
+        """Drop all unconsumed descriptors; return them for reclamation.
+
+        Used by the driver watchdog after a NIC reset: in-flight
+        descriptors are abandoned and their buffers must be freed by the
+        caller. Positions advance to ``head = tail`` (rather than
+        rewinding to zero) so the grouped layout's alignment invariant
+        and the monotonic-position convention both survive.
+        """
+        abandoned: List[WorkItem] = []
+        for index in range(self.head, self.tail):
+            entry = self._slots[index % self.n_slots]
+            if isinstance(entry, WorkItem):
+                abandoned.append(entry)
+        self._slots = [None] * self.n_slots
+        self.head = self.tail
+        self.head_value = self.head
+        self.tail_value = self.tail
+        self._producer_head_cache = self.head
+        self._tail_visible_at = 0.0
+        return abandoned
+
     def __repr__(self) -> str:
         return (
             f"<CoherentQueue {self.name!r} {self.layout.value} "

@@ -13,8 +13,13 @@ class SimulationError(ReproError):
     """The discrete-event engine was used incorrectly."""
 
 
-class MemoryError_(ReproError):
+class AddressSpaceError(ReproError):
     """Address-space or region misuse (bad address, overlap, exhaustion)."""
+
+
+#: Deprecated alias for :class:`AddressSpaceError`; kept so existing
+#: callers (and the original awkward name) keep working.
+MemoryError_ = AddressSpaceError
 
 
 class CoherenceError(ReproError):
@@ -31,6 +36,14 @@ class NicError(ReproError):
 
 class PoolError(NicError):
     """Buffer-pool misuse: double free, exhaustion, foreign buffer."""
+
+
+class RingTimeoutError(NicError):
+    """A descriptor ring made no progress within the recovery budget."""
+
+
+class FaultError(ReproError):
+    """Invalid fault plan, fault event, or fault-injector misuse."""
 
 
 class ConfigError(ReproError):

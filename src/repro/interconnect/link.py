@@ -36,14 +36,30 @@ class LinkStats:
     payload_bytes: int = 0
     wire_bytes: int = 0
     busy_ns: float = 0.0
-    by_class: Dict[str, int] = field(default_factory=dict)
+    # One [count, wire_bytes] cell per message class: note() is on the
+    # per-message hot path, so both counters share a single dict lookup.
+    _per_class: Dict[str, list] = field(default_factory=dict)
 
     def note(self, cls: MessageClass, payload: int, wire: int, ser_ns: float) -> None:
         self.messages += 1
         self.payload_bytes += payload
         self.wire_bytes += wire
         self.busy_ns += ser_ns
-        self.by_class[cls.value] = self.by_class.get(cls.value, 0) + 1
+        entry = self._per_class.get(cls.value)
+        if entry is None:
+            self._per_class[cls.value] = entry = [0, 0]
+        entry[0] += 1
+        entry[1] += wire
+
+    @property
+    def by_class(self) -> Dict[str, int]:
+        """Per-class message counts (snapshot view)."""
+        return {k: v[0] for k, v in self._per_class.items()}
+
+    @property
+    def wire_by_class(self) -> Dict[str, int]:
+        """Per-class wire bytes (snapshot view)."""
+        return {k: v[1] for k, v in self._per_class.items()}
 
 
 class Link:
@@ -57,6 +73,10 @@ class Link:
         header_overhead: Protocol header bytes added to each message's
             wire size (UPI flit headers, PCIe TLP headers).
     """
+
+    #: Optional :class:`repro.faults.FaultInjector`. Class-level None so
+    #: fault-free runs carry zero extra per-message cost or state.
+    faults = None
 
     def __init__(
         self,
@@ -113,11 +133,15 @@ class Link:
         payload = cls.payload_bytes(payload_bytes or 0)
         wire = payload + self.header_overhead
         ser = wire / self.bandwidth
+        disrupt = 0.0
+        if self.faults is not None:
+            ser *= self.faults.link_ser_scale(self.name, self.sim.now)
+            disrupt = self._fault_disruptions(cls, direction, ser, wire, actor)
         wait = self._enqueue(direction, ser, actor)
         self.stats[direction].note(cls, payload, wire, ser)
         if charge_queueing:
-            return wait + ser + self.latency_ns
-        return ser + self.latency_ns
+            return wait + ser + self.latency_ns + disrupt
+        return ser + self.latency_ns + disrupt
 
     def occupy(
         self,
@@ -146,11 +170,37 @@ class Link:
         payload = cls.payload_bytes(payload_bytes or 0)
         wire = int((payload + self.header_overhead) * inflate)
         ser = wire / self.bandwidth
+        disrupt = 0.0
+        if self.faults is not None:
+            ser *= self.faults.link_ser_scale(self.name, self.sim.now)
+            disrupt = self._fault_disruptions(cls, direction, ser, wire, actor)
         wait = self._enqueue(direction, ser, actor)
         self.stats[direction].note(cls, payload, wire, ser)
         if charge_queueing:
-            return wait
-        return 0.0
+            return wait + disrupt
+        return disrupt
+
+    def _fault_disruptions(
+        self, cls: MessageClass, direction: int, ser: float, wire: int, actor: str
+    ) -> float:
+        """Draw one per-message link fault; return the extra delivery delay.
+
+        Coherent links never surface loss to the protocol layer: a
+        dropped flit is retransmitted by the link layer, so a "drop"
+        manifests as extra latency plus a second (wasted) copy on the
+        wire. Duplicates likewise burn bandwidth without delaying the
+        original. Both wasted copies are booked through ``_enqueue`` and
+        counted in the stats with zero payload bytes.
+        """
+        fault = self.faults.link_decide(self.name, self.sim.now)
+        if fault is None:
+            return 0.0
+        if fault.retransmit or fault.duplicate:
+            self._enqueue(direction, ser, actor)
+            self.stats[direction].note(cls, 0, wire, ser)
+        if fault.retransmit:
+            return fault.extra_ns + ser
+        return fault.extra_ns
 
     #: Utilization-measurement window, ns.
     WINDOW_NS = 2000.0
@@ -230,8 +280,20 @@ class Link:
         return self.stats[0].wire_bytes + self.stats[1].wire_bytes
 
     def reset_stats(self) -> None:
-        """Clear traffic statistics (does not reset the fluid backlog)."""
+        """Clear traffic statistics and the utilization-window state.
+
+        Resetting the window state matters for reused links: a settled
+        rho estimate or partially filled demand window from the previous
+        experiment would otherwise leak queueing delay (and the per-class
+        byte counters would double-count) into the next one.
+        """
         self.stats = (LinkStats(), LinkStats())
+        now = self.sim.now
+        self._win_busy = [0.0, 0.0]
+        self._win_by = [{}, {}]
+        self._win_start = [now, now]
+        self._rho = [0.0, 0.0]
+        self._rho_by = [{}, {}]
 
     def rho(self, direction: int) -> float:
         """Most recently settled utilization estimate for a direction."""

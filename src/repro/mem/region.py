@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import MemoryError_
+from repro.errors import AddressSpaceError
 from repro.mem.memtype import MemType
 
 
@@ -28,11 +28,11 @@ class Region:
 
     def __post_init__(self) -> None:
         if self.size <= 0:
-            raise MemoryError_(f"region {self.name!r} has non-positive size {self.size}")
+            raise AddressSpaceError(f"region {self.name!r} has non-positive size {self.size}")
         if self.base < 0:
-            raise MemoryError_(f"region {self.name!r} has negative base {self.base}")
+            raise AddressSpaceError(f"region {self.name!r} has negative base {self.base}")
         if self.base % 64 != 0:
-            raise MemoryError_(
+            raise AddressSpaceError(
                 f"region {self.name!r} base {self.base:#x} is not cache-line aligned"
             )
 
@@ -48,7 +48,7 @@ class Region:
     def offset_of(self, addr: int) -> int:
         """Byte offset of ``addr`` from the region base."""
         if not self.contains(addr):
-            raise MemoryError_(
+            raise AddressSpaceError(
                 f"address {addr:#x} not in region {self.name!r} "
                 f"[{self.base:#x}, {self.end:#x})"
             )

@@ -11,7 +11,7 @@ from __future__ import annotations
 import bisect
 from typing import List, Optional
 
-from repro.errors import MemoryError_
+from repro.errors import AddressSpaceError
 from repro.mem.address import CACHE_LINE_SIZE
 from repro.mem.memtype import MemType
 from repro.mem.region import Region
@@ -48,9 +48,9 @@ class AddressSpace:
             The newly created region.
         """
         if size <= 0:
-            raise MemoryError_(f"cannot allocate {size} bytes for {name!r}")
+            raise AddressSpaceError(f"cannot allocate {size} bytes for {name!r}")
         if align < CACHE_LINE_SIZE or align % CACHE_LINE_SIZE:
-            raise MemoryError_(f"alignment {align} must be a multiple of 64")
+            raise AddressSpaceError(f"alignment {align} must be a multiple of 64")
         base = align_up(self._cursor, align)
         rounded = align_up(size, CACHE_LINE_SIZE)
         region = Region(name=name, base=base, size=rounded, home=home, memtype=memtype)
@@ -65,11 +65,11 @@ class AddressSpace:
         """Region containing byte address ``addr``.
 
         Raises:
-            MemoryError_: if the address falls outside every region.
+            AddressSpaceError: if the address falls outside every region.
         """
         region = self.try_region_of(addr)
         if region is None:
-            raise MemoryError_(f"address {addr:#x} is not mapped")
+            raise AddressSpaceError(f"address {addr:#x} is not mapped")
         return region
 
     def try_region_of(self, addr: int) -> Optional[Region]:

@@ -30,6 +30,7 @@ from repro.coherence.cache import CacheAgent
 from repro.core.buffers import Buffer
 from repro.core.config import CcnicConfig
 from repro.core.pool import BufferPool
+from repro.core.recovery import RecoverableDriver
 from repro.core.results import AllocResult, RxResult, TxResult
 from repro.errors import NicError
 from repro.interconnect.link import Link
@@ -119,6 +120,12 @@ class _PcieQueue:
     pending_tx: "Deque[_TxWork]" = field(default_factory=deque)
     wire: "Deque[Tuple[float, Packet]]" = field(default_factory=deque)
     waiting_rx: "Deque[Packet]" = field(default_factory=deque)
+    # Fault state: a reset wedges the device until the host watchdog
+    # reinitializes the queue; orphaned holds buffers the device forgot
+    # (fetched blanks, pending TX) for the host to reclaim.
+    wedged: bool = False
+    lost_packets: int = 0
+    orphaned: List[Buffer] = field(default_factory=list)
 
 
 class PcieNicInterface(Instrumented):
@@ -129,6 +136,10 @@ class PcieNicInterface(Instrumented):
         spec: E810 or CX6 hardware parameters.
         config: Ring/pool sizing.
     """
+
+    #: Optional :class:`repro.faults.FaultInjector` consulted by the
+    #: device engines for stall/reset events. Class-level None.
+    faults = None
 
     def __init__(
         self,
@@ -230,6 +241,22 @@ class _DeviceEngine:
         sim = self.nic.system.sim
         q = self.q
         while True:
+            faults = self.nic.faults
+            if faults is not None:
+                fault = faults.nic_decide(self.index, sim.now)
+                if fault is not None:
+                    if fault.kind == "nic_reset":
+                        self._device_reset()
+                    yield fault.duration_ns
+                    continue
+                if q.wedged:
+                    # Arrivals fall on the floor until the host watchdog
+                    # reinitializes this queue.
+                    while q.wire and q.wire[0][0] <= sim.now:
+                        q.wire.popleft()
+                        q.lost_packets += 1
+                    yield DEVICE_IDLE_NS
+                    continue
             busy = False
             ns = 0.0
             now = sim.now
@@ -290,6 +317,26 @@ class _DeviceEngine:
                 yield DEVICE_IDLE_NS
 
     # ------------------------------------------------------------------
+    def _device_reset(self) -> None:
+        """Lose all on-chip state: in-flight packets drop, the device wedges.
+
+        Fetched-but-unsent TX work and fetched blanks are host pool
+        memory the device has now forgotten; they park in ``orphaned``
+        until the host driver's ring reset reclaims them.
+        """
+        q = self.q
+        q.wedged = True
+        q.lost_packets += len(q.wire) + len(q.waiting_rx)
+        q.wire.clear()
+        q.waiting_rx.clear()
+        while q.pending_tx:
+            work = q.pending_tx.popleft()
+            q.lost_packets += 1
+            if not work.inline:
+                q.orphaned.append(work.buf)
+        q.orphaned.extend(q.device_blanks)
+        q.device_blanks.clear()
+
     def _transmit(self, batch: List[_TxWork], now: float) -> float:
         ns = 0.0
         to_complete: List[Buffer] = []
@@ -365,7 +412,7 @@ class _DeviceEngine:
         return ns
 
 
-class PcieNicDriver(Instrumented):
+class PcieNicDriver(RecoverableDriver, Instrumented):
     """Host-side driver with the common burst API.
 
     Per-descriptor costs are substantially higher than CC-NIC's: PCIe
@@ -390,6 +437,8 @@ class PcieNicDriver(Instrumented):
         self.rx_packets = 0
         self.tx_ns = 0.0
         self.rx_ns = 0.0
+        self._init_recovery_state()
+        self._device_losses_taken = 0
 
     # ------------------------------------------------------------------
     def _obs_component(self) -> str:
@@ -400,6 +449,81 @@ class PcieNicDriver(Instrumented):
         registry.gauge(self.obs_name, "rx_packets", fn=lambda: float(self.rx_packets))
         registry.gauge(self.obs_name, "tx_ns", fn=lambda: self.tx_ns)
         registry.gauge(self.obs_name, "rx_ns", fn=lambda: self.rx_ns)
+        self._register_recovery_metrics(registry)
+
+    # ------------------------------------------------------------------
+    # Recovery (inert until configure_recovery is called)
+    # ------------------------------------------------------------------
+    def watchdog(self) -> float:
+        """Reset the queue if descriptor fetch has stopped making progress.
+
+        The PCIe stall signature: host-side descriptors keep piling up
+        in ``tx_inflight`` while ``device_fetched`` stays frozen — the
+        engine is no longer consuming doorbells.
+        """
+        if self._watchdog is None:
+            return 0.0
+        sim = self.interface.system.sim
+        q = self.q
+        if not self._watchdog.stalled(sim.now, len(q.tx_inflight), q.device_fetched):
+            return 0.0
+        ns = self._reset_rings()
+        self._watchdog.reset(sim.now)
+        return ns
+
+    def _reset_rings(self) -> float:
+        """Reinitialize the queue after a wedge and reclaim buffers.
+
+        Everything outstanding on either side of PCIe is abandoned:
+        unfetched TX descriptors, in-flight inline submissions, unread
+        RX completions, posted and fetched blanks. Cursors realign so
+        host and device agree that nothing is outstanding.
+        """
+        q = self.q
+        lost_packets = 0
+        to_free: List[Buffer] = []
+        while q.tx_inflight:
+            work = q.tx_inflight.popleft()
+            lost_packets += 1
+            to_free.append(work.buf)
+        while q.inline_arrivals:
+            q.inline_arrivals.popleft()
+            lost_packets += 1  # its buffer was reclaimed at submit (copied)
+        while q.rx_completions:
+            comp = q.rx_completions.popleft()
+            lost_packets += 1
+            to_free.append(comp.buf)
+        to_free.extend(q.orphaned)
+        q.orphaned.clear()
+        while q.blank_queue:
+            to_free.append(q.blank_queue.popleft()[1])
+        while q.device_blanks:
+            to_free.append(q.device_blanks.popleft())
+        q.doorbells.clear()
+        q.rx_doorbells.clear()
+        q.device_fetched = q.host_tail
+        q.device_rx_fetched = q.host_rx_posted
+        q.posted_blanks = 0
+        q.wedged = False
+        ns = self._free_abandoned(to_free)
+        self.watchdog_resets += 1
+        self.reset_dropped += lost_packets
+        self._reset_losses += lost_packets
+        return ns
+
+    def take_reset_losses(self) -> int:
+        """Packets lost to NIC resets since the last call.
+
+        Covers descriptors abandoned during ring reinitialization and
+        packets the device dropped from the wire while wedged; the
+        traffic generator writes these off so its closed-loop window
+        refills instead of deadlocking.
+        """
+        lost = self._reset_losses
+        self._reset_losses = 0
+        lost += self.q.lost_packets - self._device_losses_taken
+        self._device_losses_taken = self.q.lost_packets
+        return lost
 
     # ------------------------------------------------------------------
     # Buffers and payloads (host-local; no interconnect involvement)

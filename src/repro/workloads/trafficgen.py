@@ -21,7 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.errors import WorkloadError
+from repro.core.recovery import RecoveryPolicy
+from repro.errors import RingTimeoutError, WorkloadError
 from repro.obs.instrument import Instrumented
 from repro.sim.rng import make_rng
 from repro.sim.stats import Histogram
@@ -43,6 +44,10 @@ class LoopbackResult:
     window_end_ns: float = 0.0
     latency: Histogram = field(default_factory=lambda: Histogram("latency_ns"))
     backpressure_events: int = 0
+    # Packets written off under fault recovery: shed at submission
+    # (ring timeout) or lost in flight (NIC reset). Always 0 when no
+    # recovery policy is configured.
+    dropped: int = 0
 
     @property
     def elapsed_ns(self) -> float:
@@ -93,6 +98,11 @@ class LoopbackApp(Instrumented):
             inter-burst gaps) or "poisson" (exponential gaps — burstier,
             with a heavier queueing tail at the same mean rate).
         seed: RNG seed for stochastic arrival processes.
+        recovery: Optional :class:`RecoveryPolicy`. When set, the app
+            degrades gracefully under injected faults — ring timeouts
+            shed the burst, the driver watchdog runs each iteration, and
+            packets lost to NIC resets are written off as ``dropped``
+            instead of deadlocking the closed-loop window.
     """
 
     def __init__(
@@ -107,6 +117,7 @@ class LoopbackApp(Instrumented):
         warmup_fraction: float = 0.1,
         arrivals: str = "paced",
         seed: int = 0,
+        recovery: Optional[RecoveryPolicy] = None,
     ) -> None:
         if n_packets <= 0:
             raise WorkloadError("n_packets must be positive")
@@ -132,6 +143,19 @@ class LoopbackApp(Instrumented):
         self.warmup = int(n_packets * warmup_fraction)
         self.result = LoopbackResult()
         self.done = False
+        self.recovery = recovery
+        if recovery is not None:
+            driver.configure_recovery(recovery)
+        # Loss accounting: submit-side sheds never entered the interface
+        # (they cap the offered count); in-flight losses were sent and
+        # must refill the closed-loop window. Invariant:
+        #   sent + _submit_dropped == offered
+        #   received + outstanding + _lost_inflight == sent
+        #   dropped == _submit_dropped + _lost_inflight
+        self._submit_dropped = 0
+        self._lost_inflight = 0
+        self._last_received = 0
+        self._rx_stall_since = 0.0
 
     # ------------------------------------------------------------------
     def _obs_component(self) -> str:
@@ -149,6 +173,7 @@ class LoopbackApp(Instrumented):
             "backpressure_events",
             fn=lambda: float(result.backpressure_events),
         )
+        registry.gauge(self.obs_name, "dropped", fn=lambda: float(result.dropped))
         registry.adopt_histogram(self.obs_name, "latency_ns", result.latency)
 
     # ------------------------------------------------------------------
@@ -164,19 +189,25 @@ class LoopbackApp(Instrumented):
             interval = 1e3 / self.offered_mpps  # ns per packet
         next_send = 0.0
         pending: List[Tuple] = []  # (buffer, packet) ready to submit
+        recovery = self.recovery
 
-        while result.received < self.n_packets:
+        # Every offered packet eventually resolves to received or
+        # dropped, so the loop terminates even when faults lose packets.
+        while result.received + result.dropped < self.n_packets:
             ns = system.cycles(APP_CYCLES_PER_LOOP)
-            outstanding = result.sent - result.received
+            offered = result.sent + self._submit_dropped
+            outstanding = max(
+                0, result.sent - result.received - self._lost_inflight
+            )
 
             # ---- Prepare and submit TX.
-            can_send = result.sent < self.n_packets and not pending
+            can_send = offered < self.n_packets and not pending
             if can_send and self.inflight is not None:
                 can_send = outstanding < self.inflight
             if can_send and interval is not None:
                 can_send = sim.now >= next_send
             if can_send:
-                burst = min(self.tx_batch, self.n_packets - result.sent)
+                burst = min(self.tx_batch, self.n_packets - offered)
                 if self.inflight is not None:
                     burst = min(burst, self.inflight - outstanding)
                 sizes = [self.pkt_size] * burst
@@ -203,13 +234,25 @@ class LoopbackApp(Instrumented):
                         next_send += interval * burst
 
             if pending:
-                tx = driver.tx_burst(pending, base_ns=ns)
-                ns += tx.ns
-                if tx.count:
-                    result.sent += tx.count
-                    del pending[: tx.count]
-                if pending:
-                    result.backpressure_events += 1
+                try:
+                    if recovery is not None:
+                        tx = driver.tx_submit(pending, base_ns=ns)
+                    else:
+                        tx = driver.tx_burst(pending, base_ns=ns)
+                except RingTimeoutError:
+                    # The ring is dead; shed the burst instead of
+                    # spinning. The watchdog below revives the queue.
+                    ns += driver.free([buf for buf, _pkt in pending])
+                    self._submit_dropped += len(pending)
+                    result.dropped += len(pending)
+                    pending.clear()
+                else:
+                    ns += tx.ns
+                    if tx.count:
+                        result.sent += tx.count
+                        del pending[: tx.count]
+                    if pending:
+                        result.backpressure_events += 1
 
             # ---- Receive.
             rx = driver.rx_burst(rx_batch)
@@ -234,8 +277,40 @@ class LoopbackApp(Instrumented):
                 ns += driver.free(bufs_to_free)
 
             ns += driver.housekeeping()
+            if recovery is not None:
+                ns += driver.watchdog()
+                ns += self._write_off_losses(sim.now)
             yield max(ns, 1.0)
         self.done = True
+
+    def _write_off_losses(self, now: float) -> float:
+        """Account packets lost to resets; expire a dead in-flight window.
+
+        Reset losses reported by the driver shrink the outstanding
+        count directly. Separately, if nothing has been received for
+        ``inflight_timeout_ns`` while packets are outstanding, the whole
+        window is written off — those packets evaporated somewhere the
+        driver could not see (e.g. on the wire during a reset).
+        """
+        result = self.result
+        lost = self.driver.take_reset_losses()
+        if lost:
+            outstanding = max(
+                0, result.sent - result.received - self._lost_inflight
+            )
+            lost = min(lost, outstanding)
+            self._lost_inflight += lost
+            result.dropped += lost
+        outstanding = max(0, result.sent - result.received - self._lost_inflight)
+        if outstanding and result.received == self._last_received:
+            if now - self._rx_stall_since >= self.recovery.inflight_timeout_ns:
+                self._lost_inflight += outstanding
+                result.dropped += outstanding
+                self._rx_stall_since = now
+        else:
+            self._last_received = result.received
+            self._rx_stall_since = now
+        return 0.0
 
 
 def run_loopback(
@@ -251,6 +326,7 @@ def run_loopback(
     arrivals: str = "paced",
     seed: int = 0,
     obs=None,
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> LoopbackResult:
     """Convenience wrapper: spawn one app on a started interface and run."""
     app = LoopbackApp(
@@ -263,6 +339,7 @@ def run_loopback(
         offered_mpps=offered_mpps,
         arrivals=arrivals,
         seed=seed,
+        recovery=recovery,
     )
     if obs is not None and obs.enabled:
         app.instrument(obs)
