@@ -1,0 +1,48 @@
+"""Smoke coverage for the self-benchmarking harness.
+
+CI's perf-smoke job runs ``python -m repro perf --quick`` directly;
+these tests cover the same plumbing from pytest so a broken harness
+fails fast locally too.
+"""
+
+import json
+
+from repro.analysis import perf
+
+
+def test_quick_loopback_meets_committed_floor(tmp_path):
+    doc = perf.run_suite(["loopback_64b"], quick=True, compare=("loopback_64b",))
+    entry = doc["scenarios"]["loopback_64b"]
+    assert entry["deterministic"] is True
+    assert entry["events"] > 0
+    path = perf.write_bench(doc, str(tmp_path / "BENCH_sim_perf.json"))
+    reread = json.load(open(path))
+    assert reread["scenarios"]["loopback_64b"]["fingerprint"] == entry["fingerprint"]
+    baseline = perf.load_baseline()
+    assert baseline is not None, "benchmarks/perf/baseline.json must be committed"
+    assert perf.check_regression(doc, baseline) == []
+
+
+def test_check_regression_flags_slowdowns_and_divergence():
+    doc = {
+        "scenarios": {
+            "loopback_64b": {
+                "events_per_sec": 100.0,
+                "deterministic": False,
+                "fingerprint": "aaaa",
+                "slowpath": {"fingerprint": "bbbb"},
+            }
+        }
+    }
+    baseline = {"scenarios": {"loopback_64b": {"events_per_sec": 1000.0}}}
+    failures = perf.check_regression(doc, baseline, tolerance=0.30)
+    assert len(failures) == 2
+    assert any("below the regression floor" in msg for msg in failures)
+    assert any("different metric fingerprints" in msg for msg in failures)
+    # At-tolerance throughput with matching fingerprints passes.
+    ok = {
+        "scenarios": {
+            "loopback_64b": {"events_per_sec": 701.0, "deterministic": True}
+        }
+    }
+    assert perf.check_regression(ok, baseline, tolerance=0.30) == []

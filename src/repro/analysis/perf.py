@@ -1,0 +1,381 @@
+"""Self-benchmarking harness: simulation speed as a first-class metric.
+
+Every figure reproduction funnels through the same hot paths — the
+event loop in :mod:`repro.sim.engine`, protocol cost resolution in
+:mod:`repro.coherence.fabric`, and link/telemetry accounting — so the
+repo benchmarks *itself*: ``python -m repro perf`` runs the canonical
+scenarios below, reports wall-clock seconds, **events per second** and
+peak RSS, and writes the trajectory document ``BENCH_sim_perf.json``
+at the repo root.
+
+Each scenario also produces a deterministic *fingerprint* — a hash of
+the run's end-to-end metrics (packet counts, latency percentiles,
+coherence-transaction counters, per-direction link statistics, event
+count and final simulated time). Running a scenario with
+``REPRO_SIM_SLOWPATH=1`` disables every fast path (engine event-record
+reuse and calendar queue, fabric cost-plan memoization, link pair
+batching) and must yield the *same fingerprint*: the optimizations are
+behavior-preserving by construction, and the harness proves it on
+every comparison run.
+
+The committed floor in ``benchmarks/perf/baseline.json`` is what CI's
+perf-smoke job regresses against (see :func:`check_regression`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import resource
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.loopback import InterfaceKind, build_interface, run_point
+from repro.core.recovery import RecoveryPolicy
+from repro.faults import FaultInjector, FaultPlan
+from repro.platform import icx
+
+#: Escape hatch read by every layer's fast path (one Simulator at a time).
+SLOWPATH_ENV = "REPRO_SIM_SLOWPATH"
+#: Schema version of the BENCH document.
+BENCH_SCHEMA = 1
+#: Default output path, relative to the invoking directory (repo root).
+DEFAULT_BENCH_PATH = "BENCH_sim_perf.json"
+#: Committed events/sec floor used by the CI perf-smoke job.
+DEFAULT_BASELINE_PATH = os.path.join("benchmarks", "perf", "baseline.json")
+
+
+# ----------------------------------------------------------------------
+# Scenario outcomes and measurements
+# ----------------------------------------------------------------------
+@dataclass
+class ScenarioOutcome:
+    """What one scenario run returns to the measurement wrapper.
+
+    ``wall_s`` is measured *inside* the runner, around the simulation
+    run only — events/sec is a simulator-throughput metric, so system
+    construction (region allocation, plan tables, ring setup) stays
+    outside the timed window.
+    """
+
+    wall_s: float
+    events: int
+    sim_ns: float
+    snapshot: Dict
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class PerfMeasurement:
+    """One timed scenario run (fast path or slow path)."""
+
+    scenario: str
+    wall_s: float
+    events: int
+    events_per_sec: float
+    sim_ns: float
+    peak_rss_kb: int
+    fingerprint: str
+    extra: Dict[str, float]
+    slowpath: bool
+
+    def to_doc(self) -> Dict:
+        return {
+            "wall_s": round(self.wall_s, 4),
+            "events": self.events,
+            "events_per_sec": round(self.events_per_sec, 1),
+            "sim_ns": self.sim_ns,
+            "peak_rss_kb": self.peak_rss_kb,
+            "fingerprint": self.fingerprint,
+            "extra": self.extra,
+        }
+
+
+def _fingerprint(snapshot: Dict) -> str:
+    """Stable short hash of a run's end-to-end metric snapshot."""
+    blob = json.dumps(snapshot, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def _system_snapshot(system) -> Dict:
+    """The simulation-state half of every scenario fingerprint."""
+    return {
+        "counters": system.fabric.snapshot_counters(),
+        "events": system.sim.events_executed,
+        "now": system.sim.now,
+        "link": [
+            {
+                "messages": st.messages,
+                "payload": st.payload_bytes,
+                "wire": st.wire_bytes,
+                "busy": st.busy_ns,
+                "by_class": st.by_class,
+                "wire_by_class": st.wire_by_class,
+            }
+            for st in system.link.stats
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+def _run_loopback_64b(quick: bool) -> ScenarioOutcome:
+    """Closed-loop 64B CC-NIC loopback — the headline scenario."""
+    n_packets = 4000 if quick else 50000
+    setup = build_interface(icx(), InterfaceKind.CCNIC)
+    start = time.perf_counter()
+    result = run_point(setup, pkt_size=64, n_packets=n_packets, inflight=64)
+    wall = time.perf_counter() - start
+    system = setup.system
+    snapshot = {
+        "received": result.received,
+        "dropped": result.dropped,
+        "mpps": result.mpps,
+        "median_ns": result.latency.percentile(50),
+        "p99_ns": result.latency.percentile(99),
+        **_system_snapshot(system),
+    }
+    return ScenarioOutcome(
+        wall_s=wall,
+        events=system.sim.events_executed,
+        sim_ns=system.sim.now,
+        snapshot=snapshot,
+        extra={"packets": float(result.received), "mpps": result.mpps},
+    )
+
+
+def _run_kv_zipf(quick: bool) -> ScenarioOutcome:
+    """KV server thread under the Zipf-skewed Ads object distribution."""
+    from repro.apps.kvstore import KvServerApp, KvWorkload
+
+    n_ops = 120 if quick else 500
+    setup = build_interface(icx(), InterfaceKind.CCNIC)
+    app = KvServerApp(setup, KvWorkload.ads(), offered_mops=50.0, n_ops=n_ops)
+    start = time.perf_counter()
+    result = app.run()
+    wall = time.perf_counter() - start
+    system = setup.system
+    snapshot = {
+        "ops": result.ops,
+        "mops": result.mops,
+        "median_ns": result.latency.percentile(50),
+        "p99_ns": result.latency.percentile(99),
+        **_system_snapshot(system),
+    }
+    return ScenarioOutcome(
+        wall_s=wall,
+        events=system.sim.events_executed,
+        sim_ns=system.sim.now,
+        snapshot=snapshot,
+        extra={"ops": float(result.ops), "mops": result.mops},
+    )
+
+
+def _run_faults_canned(quick: bool) -> ScenarioOutcome:
+    """Loopback under the canned fault plan with data-plane recovery.
+
+    With an injector attached the fabric and link fall back to their
+    reference implementations, so this scenario exercises the *engine*
+    fast path (event-record reuse, calendar queue) under the most
+    irregular event pattern the repo produces.
+    """
+    n_packets = 1200 if quick else 6000
+    faults = FaultInjector(FaultPlan.canned(), seed=7)
+    setup = build_interface(icx(), InterfaceKind.CCNIC, faults=faults)
+    start = time.perf_counter()
+    result = run_point(
+        setup,
+        pkt_size=256,
+        n_packets=n_packets,
+        inflight=64,
+        recovery=RecoveryPolicy(),
+    )
+    wall = time.perf_counter() - start
+    system = setup.system
+    snapshot = {
+        "received": result.received,
+        "dropped": result.dropped,
+        "mpps": result.mpps,
+        "median_ns": result.latency.percentile(50),
+        "faults": faults.counters.snapshot(),
+        "injected": faults.total_injected(),
+        "tx_retries": setup.driver.tx_retries,
+        "watchdog_resets": setup.driver.watchdog_resets,
+        **_system_snapshot(system),
+    }
+    return ScenarioOutcome(
+        wall_s=wall,
+        events=system.sim.events_executed,
+        sim_ns=system.sim.now,
+        snapshot=snapshot,
+        extra={
+            "packets": float(result.received),
+            "dropped": float(result.dropped),
+            "injected": float(faults.total_injected()),
+        },
+    )
+
+
+#: name -> (description, runner)
+SCENARIOS: Dict[str, tuple] = {
+    "loopback_64b": ("closed-loop 64B CC-NIC loopback", _run_loopback_64b),
+    "kv_zipf": ("KV server thread, Zipf Ads objects", _run_kv_zipf),
+    "faults_canned": ("canned fault plan + recovery", _run_faults_canned),
+}
+
+
+# ----------------------------------------------------------------------
+# Measurement
+# ----------------------------------------------------------------------
+def run_scenario(
+    name: str, quick: bool = False, slowpath: bool = False, repeat: int = 1
+) -> PerfMeasurement:
+    """Time one scenario; ``slowpath`` runs it with every fast path off.
+
+    ``repeat`` reruns the scenario and keeps the *minimum* wall time
+    (the standard way to strip scheduler noise from a wall-clock
+    benchmark). Every repeat must reproduce the same fingerprint — a
+    divergence means the simulation itself is nondeterministic, which
+    no amount of timing tolerance should paper over.
+    """
+    try:
+        _desc, runner = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r} (choose from {', '.join(SCENARIOS)})"
+        )
+    prev = os.environ.get(SLOWPATH_ENV)
+    if slowpath:
+        os.environ[SLOWPATH_ENV] = "1"
+    else:
+        os.environ.pop(SLOWPATH_ENV, None)
+    try:
+        wall = None
+        outcome = None
+        for _ in range(max(1, repeat)):
+            this = runner(quick)
+            if outcome is not None and this.snapshot != outcome.snapshot:
+                raise RuntimeError(
+                    f"scenario {name!r} is nondeterministic across repeats"
+                )
+            outcome = this
+            wall = this.wall_s if wall is None else min(wall, this.wall_s)
+    finally:
+        if prev is None:
+            os.environ.pop(SLOWPATH_ENV, None)
+        else:
+            os.environ[SLOWPATH_ENV] = prev
+    rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return PerfMeasurement(
+        scenario=name,
+        wall_s=wall,
+        events=outcome.events,
+        events_per_sec=outcome.events / wall if wall > 0 else 0.0,
+        sim_ns=outcome.sim_ns,
+        peak_rss_kb=int(rss_kb),
+        fingerprint=_fingerprint(outcome.snapshot),
+        extra=outcome.extra,
+        slowpath=slowpath,
+    )
+
+
+def run_suite(
+    scenarios: Optional[Sequence[str]] = None,
+    quick: bool = False,
+    compare: Sequence[str] = ("loopback_64b",),
+    repeat: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict:
+    """Run the suite; returns the ``BENCH_sim_perf.json`` document.
+
+    Scenarios named in ``compare`` run a second time with
+    ``REPRO_SIM_SLOWPATH=1`` to record the fast/slow speedup and check
+    that both paths produced identical fingerprints.
+    """
+    names = list(scenarios) if scenarios else list(SCENARIOS)
+    doc: Dict = {
+        "bench": "sim_perf",
+        "schema": BENCH_SCHEMA,
+        "quick": quick,
+        "repeat": repeat,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "generated_unix": int(time.time()),
+        "scenarios": {},
+    }
+    for name in names:
+        if progress is not None:
+            progress(f"running {name}{' (quick)' if quick else ''} ...")
+        fast = run_scenario(name, quick=quick, repeat=repeat)
+        entry = fast.to_doc()
+        if name in compare:
+            if progress is not None:
+                progress(f"running {name} with {SLOWPATH_ENV}=1 ...")
+            slow = run_scenario(name, quick=quick, slowpath=True, repeat=repeat)
+            entry["slowpath"] = slow.to_doc()
+            entry["speedup"] = (
+                round(fast.events_per_sec / slow.events_per_sec, 2)
+                if slow.events_per_sec > 0
+                else None
+            )
+            entry["deterministic"] = fast.fingerprint == slow.fingerprint
+        doc["scenarios"][name] = entry
+    return doc
+
+
+def write_bench(doc: Dict, path: str = DEFAULT_BENCH_PATH) -> str:
+    """Write the BENCH document; returns the path written."""
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Regression checking (CI perf-smoke gate)
+# ----------------------------------------------------------------------
+def load_baseline(path: str = DEFAULT_BASELINE_PATH) -> Optional[Dict]:
+    """The committed baseline, or None when the file is absent."""
+    if not os.path.isfile(path):
+        return None
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def check_regression(
+    doc: Dict, baseline: Dict, tolerance: float = 0.30
+) -> List[str]:
+    """Compare a BENCH document against the committed baseline.
+
+    Returns one message per failure: an events/sec figure more than
+    ``tolerance`` below the baseline floor, or a fast/slow comparison
+    whose fingerprints diverged. An empty list means the gate passes.
+    Scenarios present in only one document are skipped (the baseline
+    carries deliberately conservative floors, valid for both ``--quick``
+    and full runs across machine classes).
+    """
+    failures: List[str] = []
+    for name, base in baseline.get("scenarios", {}).items():
+        entry = doc["scenarios"].get(name)
+        if entry is None:
+            continue
+        floor = base.get("events_per_sec", 0.0) * (1.0 - tolerance)
+        got = entry.get("events_per_sec", 0.0)
+        if got < floor:
+            failures.append(
+                f"{name}: {got:.0f} events/sec is below the regression floor "
+                f"{floor:.0f} (baseline {base['events_per_sec']:.0f} "
+                f"- {tolerance:.0%})"
+            )
+    for name, entry in doc["scenarios"].items():
+        if entry.get("deterministic") is False:
+            failures.append(
+                f"{name}: fast and {SLOWPATH_ENV}=1 runs produced different "
+                f"metric fingerprints ({entry['fingerprint']} vs "
+                f"{entry['slowpath']['fingerprint']})"
+            )
+    return failures

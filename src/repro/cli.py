@@ -412,6 +412,54 @@ def cmd_forwarding(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    from repro.analysis import perf
+
+    scenarios = args.scenario or list(perf.SCENARIOS)
+    if args.compare == "none":
+        compare = ()
+    elif args.compare == "all":
+        compare = tuple(scenarios)
+    else:
+        compare = ("loopback_64b",) if "loopback_64b" in scenarios else ()
+    doc = perf.run_suite(
+        scenarios, quick=args.quick, compare=compare, repeat=args.repeat,
+        progress=print,
+    )
+    rows = []
+    for name, entry in doc["scenarios"].items():
+        speedup = entry.get("speedup")
+        rows.append((
+            name,
+            f"{entry['wall_s']:.3f}",
+            entry["events"],
+            f"{entry['events_per_sec']:.0f}",
+            entry["peak_rss_kb"],
+            f"{speedup:.2f}x" if speedup else "-",
+        ))
+    print(format_table(
+        ["Scenario", "Wall [s]", "Events", "Events/sec", "Peak RSS [KB]", "Speedup"],
+        rows,
+        title=f"Simulator self-benchmark ({'quick' if args.quick else 'full'})",
+    ))
+    path = perf.write_bench(doc, args.out)
+    print(f"wrote {path}")
+    status = 0
+    baseline = perf.load_baseline(args.baseline)
+    if baseline is None:
+        print(f"no baseline at {args.baseline}; regression check skipped")
+        # Still fail on a fast/slow fingerprint divergence.
+        failures = perf.check_regression(doc, {"scenarios": {}})
+    else:
+        failures = perf.check_regression(doc, baseline, tolerance=args.tolerance)
+    for msg in failures:
+        print(f"FAIL: {msg}")
+        status = 1
+    if not failures and baseline is not None:
+        print(f"regression check OK (tolerance {args.tolerance:.0%})")
+    return status
+
+
 def cmd_table1(_args: argparse.Namespace) -> int:
     print(format_table(
         ["Protocol", "GT/s", "1 Link GB/s", "Max Total GB/s"],
@@ -485,6 +533,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_args(rpc)
     _add_fault_args(rpc)
     rpc.set_defaults(func=cmd_rpc)
+
+    pf = sub.add_parser("perf", help="simulator self-benchmark (events/sec)")
+    pf.add_argument("--quick", action="store_true",
+                    help="small scenario sizes (CI smoke)")
+    pf.add_argument(
+        "--scenario", action="append", metavar="NAME",
+        choices=["loopback_64b", "kv_zipf", "faults_canned"],
+        help="run only these scenarios (repeatable; default: all)",
+    )
+    pf.add_argument(
+        "--compare", default="loopback", choices=["none", "loopback", "all"],
+        help="which scenarios also run with REPRO_SIM_SLOWPATH=1 for the "
+             "speedup + determinism check (default: loopback)",
+    )
+    pf.add_argument("--out", default="BENCH_sim_perf.json", metavar="FILE")
+    pf.add_argument("--baseline", default="benchmarks/perf/baseline.json",
+                    metavar="FILE")
+    pf.add_argument("--repeat", type=int, default=1, metavar="N",
+                    help="time each scenario N times, keep the fastest "
+                         "(repeats must fingerprint identically)")
+    pf.add_argument("--tolerance", type=float, default=0.30, metavar="FRAC",
+                    help="allowed events/sec drop vs. baseline (default 0.30)")
+    pf.set_defaults(func=cmd_perf)
 
     t1 = sub.add_parser("table1", help="interconnect bandwidth table")
     t1.set_defaults(func=cmd_table1)

@@ -12,8 +12,23 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigError
 
+#: Field order used by :meth:`CostModel.signature`.
+_FIELDS = (
+    "l2_hit",
+    "local_cache",
+    "local_dram",
+    "remote_dram",
+    "remote_cache_writer_homed",
+    "remote_cache_reader_homed",
+    "local_invalidate",
+    "remote_invalidate",
+    "store_buffer",
+    "clflush",
+    "nt_link_efficiency",
+)
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class CostModel:
     """Zero-load access latencies (ns) and protocol efficiency knobs.
 
@@ -72,6 +87,26 @@ class CostModel:
             raise ConfigError("l2_hit should not exceed local_dram")
         if self.local_dram > self.remote_dram:
             raise ConfigError("local_dram should not exceed remote_dram")
+
+    def resolve(self, case: str) -> float:
+        """Zero-load latency for a named miss-resolution case.
+
+        Plan builders (the fabric's memoized transition plans) name
+        their cost terms symbolically; this is the single point where
+        those names bind to calibrated numbers.
+        """
+        if case not in _FIELDS:
+            raise ConfigError(f"unknown cost case {case!r}")
+        return getattr(self, case)
+
+    def signature(self) -> tuple:
+        """Value tuple identifying this model for memoization.
+
+        Two models with equal signatures price every transition
+        identically, so cached cost plans keyed on (or guarded by) the
+        signature stay valid across model swaps that change nothing.
+        """
+        return tuple(getattr(self, name) for name in _FIELDS)
 
     def scaled_remote(self, factor: float) -> "CostModel":
         """New model with all cross-socket latencies scaled by ``factor``.

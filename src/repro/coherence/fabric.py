@@ -31,6 +31,19 @@ change (and the reader-visible invalidation) happens immediately.
 
 Multi-line accesses model memory-level parallelism: the first line pays
 full latency, subsequent lines overlap and pay ``latency / mlp``.
+
+**Fast path.** When the owning simulator runs its default fast loop (no
+``REPRO_SIM_SLOWPATH=1``) and no fault injector is attached, accesses go
+through a hot path that memoizes *transition plans* — the resolved cost
+constant, precomputed link message rows and counter cells for one
+``(operation, line situation, homing, requester socket)`` combination —
+so steady-state transitions skip all cost recomputation, message-size
+resolution and counter-name formatting. Plans are invalidated when the
+cost model is swapped, the link is rescaled, or the counter bag is
+reset; attaching fabric-level faults bypasses the fast path entirely so
+fault draws keep their reference order. Results are bit-identical to
+the reference path (the determinism suite compares full metric
+snapshots across both).
 """
 
 from __future__ import annotations
@@ -55,6 +68,25 @@ DEFAULT_MLP = 10.0
 
 #: Default store-buffer pipelining factor for write misses.
 DEFAULT_WRITE_PIPELINE = 2.0
+
+# Module-level aliases: enum attribute loads are surprisingly costly on
+# the per-line path, and identity comparison against these is exact.
+_MODIFIED = LineState.MODIFIED
+_EXCLUSIVE = LineState.EXCLUSIVE
+_SHARED = LineState.SHARED
+_FORWARD = LineState.FORWARD
+
+#: Largest constant stride (in lines) the prefetcher recognizes; module
+#: level so the inlined trigger in access()/access_burst() reads a
+#: global rather than a class attribute.
+_MAX_PREFETCH_STRIDE = 4
+
+# Plan-key packing (small ints hash fastest). Bits: situation code in the
+# high bits, then write, homing, requester socket.
+_PLAN_DRAM = 0       # + write*2 + socket            -> 0..3
+_PLAN_REMOTE = 8     # + write*4 + home_local*2 + socket -> 8..15
+_PLAN_UPGRADE = 16   # + socket                      -> 16..17
+_PLAN_PREFETCH = 24  # + remote*2 + socket           -> 24..27
 
 
 class CoherenceFabric(Instrumented):
@@ -89,7 +121,6 @@ class CoherenceFabric(Instrumented):
             raise CoherenceError(f"write_pipeline must be >= 1, got {write_pipeline}")
         self.sim = sim
         self.space = space
-        self.cost = cost
         self.link = link
         self.mlp = mlp
         self.write_pipeline = write_pipeline
@@ -103,6 +134,15 @@ class CoherenceFabric(Instrumented):
         # are serialization-bound, so the MLP/store-pipelining divisions
         # that apply to latency must not shrink them.
         self._pending_queue = 0.0
+        # Fast-path state. Plans memoize resolved cost sequences; the
+        # line->region cache is safe because regions are append-only.
+        self._fastpath = not sim.slowpath
+        self._plans: Dict[int, tuple] = {}
+        self._plans_epoch = self.counters.epoch
+        self._line_regions: Dict[int, Region] = {}
+        self.cost = cost  # property setter caches the hot cost constants
+        # One fabric owns the coherent link's serialization figures.
+        link.on_scaled = self.invalidate_plans
 
     # ------------------------------------------------------------------
     # Telemetry
@@ -142,6 +182,109 @@ class CoherenceFabric(Instrumented):
         return self.sim.now + self._elapsed
 
     # ------------------------------------------------------------------
+    # Cost-model plumbing and plan memoization
+    # ------------------------------------------------------------------
+    @property
+    def cost(self) -> CostModel:
+        return self._cost
+
+    @cost.setter
+    def cost(self, model: CostModel) -> None:
+        """Swap the cost model; caches hot constants, drops stale plans."""
+        self._cost = model
+        self._l2_hit = model.l2_hit
+        self._store_buffer = model.store_buffer
+        self._local_invalidate = model.local_invalidate
+        self._local_cache = model.local_cache
+        self._local_dram = model.local_dram
+        self._plans.clear()
+
+    def invalidate_plans(self) -> None:
+        """Drop memoized transition plans (link/cost configuration changed)."""
+        self._plans.clear()
+
+    def _plans_live(self) -> Dict[int, tuple]:
+        """Plan table, dropped first if the counter bag was reset."""
+        if self.counters.epoch != self._plans_epoch:
+            self._plans.clear()
+            self._plans_epoch = self.counters.epoch
+        return self._plans
+
+    def _msg_row(self, cls: MessageClass, direction: int, charge: bool = True) -> tuple:
+        """Precomputed half of a :meth:`Link.occupy_pair` plan.
+
+        Embeds the direction's live statistics cells; building a row is
+        the same moment the reference path would first send the message,
+        so the per-class cell appears in the same order either way. Two
+        rows concatenate into one flat 16-field plan.
+        """
+        link = self.link
+        payload = cls.payload_bytes(0)
+        wire = int((payload + link.header_overhead) * 1.0)
+        ser = wire / link.bandwidth
+        st = link.stats[direction]
+        return (direction, cls, payload, wire, ser, charge,
+                st.agg, st.class_cell(cls))
+
+    def _build_dram_plan(self, write: bool, socket: int) -> tuple:
+        """Remote-homed DRAM fill: snoop out, data-class back."""
+        cls = MessageClass.RFO if write else MessageClass.READ
+        msgs = (
+            self._msg_row(MessageClass.SNOOP, socket)
+            + self._msg_row(cls, 1 - socket)
+        )
+        cell = self.counters.cell(f"s{socket}.rfo" if write else f"s{socket}.read")
+        return (self._cost.remote_dram, msgs, cell)
+
+    def _build_remote_plan(self, write: bool, home_local: bool, socket: int) -> tuple:
+        """Fetch from a remote cache (both homings of the Fig 7 cases)."""
+        if home_local:
+            base = self._cost.resolve("remote_cache_reader_homed")
+            spec_cell = self.counters.cell(f"s{socket}.spec_mem_read")
+        else:
+            base = self._cost.resolve("remote_cache_writer_homed")
+            spec_cell = None
+        cls = MessageClass.RFO if write else MessageClass.READ
+        msgs = (
+            self._msg_row(MessageClass.SNOOP, socket)
+            + self._msg_row(cls, 1 - socket)
+        )
+        cell = self.counters.cell(f"s{socket}.rfo" if write else f"s{socket}.read")
+        return (base, msgs, cell, spec_cell)
+
+    def _build_upgrade_plan(self, socket: int) -> tuple:
+        """Remote invalidation on a store upgrade: snoop out, ack back."""
+        msgs = (
+            self._msg_row(MessageClass.SNOOP, socket)
+            + self._msg_row(MessageClass.ACK, 1 - socket)
+        )
+        cell = self.counters.cell(f"s{socket}.rfo")
+        return (self._cost.remote_invalidate, msgs, cell)
+
+    def _build_prefetch_plan(self, remote: bool, socket: int) -> tuple:
+        """Speculative line fetch; bandwidth-only when remote."""
+        if remote:
+            msgs = (
+                self._msg_row(MessageClass.SNOOP, socket, charge=False)
+                + self._msg_row(MessageClass.PREFETCH, 1 - socket, charge=False)
+            )
+            cell = self.counters.cell(f"s{socket}.prefetch_remote")
+        else:
+            msgs = ()
+            cell = self.counters.cell(f"s{socket}.prefetch_local")
+        return (0.0, msgs, cell)
+
+    def _resolve_region(self, addr: int) -> Region:
+        """Region of ``addr`` (validated WB); caches by line number."""
+        region = self.space.region_of(addr)
+        if not region.memtype.is_cacheable:
+            raise CoherenceError(
+                f"coherent access to non-WB region {region.name!r} ({region.memtype})"
+            )
+        self._line_regions[addr // CACHE_LINE_SIZE] = region
+        return region
+
+    # ------------------------------------------------------------------
     # Public access API
     # ------------------------------------------------------------------
     def read(self, agent: CacheAgent, addr: int, size: int = 8) -> float:
@@ -159,6 +302,77 @@ class CoherenceFabric(Instrumented):
         first line pays full (possibly pipelined, for writes) latency;
         further lines of a multi-line access overlap via ``mlp``.
         """
+        if not self._fastpath or self.faults is not None:
+            return self._access_slow(agent, addr, size, write)
+        if size <= 0:
+            raise CoherenceError(f"access size must be positive, got {size}")
+        first = addr // CACHE_LINE_SIZE
+        last = (addr + size - 1) // CACHE_LINE_SIZE
+        region = self._line_regions.get(first)
+        if region is None:
+            region = self._resolve_region(addr)
+        if first == last:
+            # Hot path: the overwhelming majority of modelled accesses
+            # (descriptors, signal words, header probes) touch one line.
+            lines = agent._lines
+            state = lines.get(first)
+            if state is not None:
+                agent.hits += 1
+                lines.move_to_end(first)
+                if not write:
+                    total = self._l2_hit
+                elif state is _MODIFIED or state is _EXCLUSIVE:
+                    # Assigning an existing key keeps its (just-moved)
+                    # position, so no second move_to_end.
+                    lines[first] = _MODIFIED
+                    total = self._store_buffer / self.write_pipeline
+                else:
+                    self._pending_queue = 0.0
+                    latency = self._invalidate_others(agent, first)
+                    agent.set_state(first, _MODIFIED)
+                    if latency == 0.0:
+                        latency = self._local_invalidate
+                    total = latency / self.write_pipeline + self._pending_queue
+            else:
+                agent.misses += 1
+                self._pending_queue = 0.0
+                latency = self._miss_fast(agent, first, write, region)
+                if write:
+                    latency /= self.write_pipeline
+                total = latency + self._pending_queue
+            if agent.prefetch:
+                # Inline twin of _maybe_prefetch (stride tracking and
+                # arming rule unchanged).
+                sstate = agent.stream_state.get(region.base)
+                if sstate is None:
+                    agent.stream_state[region.base] = [first, 0]
+                else:
+                    stride = first - sstate[0]
+                    last_stride = sstate[1]
+                    sstate[0] = first
+                    sstate[1] = stride
+                    if 0 < stride <= _MAX_PREFETCH_STRIDE and (
+                        last_stride == 0 or last_stride == stride
+                    ):
+                        target = first + stride
+                        if target * 64 < region.end and target not in lines:
+                            self._prefetch_line(agent, target, region)
+            return total
+        total = 0.0
+        for index, line in enumerate(range(first, last + 1)):
+            self._pending_queue = 0.0
+            latency = self._line_access_fast(agent, line, write, region)
+            if write:
+                latency /= self.write_pipeline
+            if index > 0:
+                latency /= self.mlp
+            total += latency + self._pending_queue
+            if agent.prefetch:
+                self._maybe_prefetch(agent, line, region)
+        return total
+
+    def _access_slow(self, agent: CacheAgent, addr: int, size: int, write: bool) -> float:
+        """Reference implementation of :meth:`access` (pre-plan path)."""
         if size <= 0:
             raise CoherenceError(f"access size must be positive, got {size}")
         region = self.space.region_of(addr)
@@ -210,6 +424,91 @@ class CoherenceFabric(Instrumented):
         line pays ``latency / mlp``. Bandwidth and protocol state are
         charged for every line exactly as in :meth:`access`.
         """
+        if not self._fastpath or self.faults is not None:
+            return self._access_burst_slow(agent, spans, write)
+        total = 0.0
+        first = True
+        regions = self._line_regions
+        write_pipeline = self.write_pipeline
+        mlp = self.mlp
+        l2_hit = self._l2_hit
+        store_buffer = self._store_buffer
+        lines = agent._lines
+        prefetch = agent.prefetch
+        stream = agent.stream_state
+        for addr, size in spans:
+            if size <= 0:
+                raise CoherenceError(f"access size must be positive, got {size}")
+            line = addr // CACHE_LINE_SIZE
+            last_line = (addr + size - 1) // CACHE_LINE_SIZE
+            region = regions.get(line)
+            if region is None:
+                region = self._resolve_region(addr)
+            while True:
+                # Inline twin of the hit cases in _line_access_fast:
+                # payload bursts are overwhelmingly warm-line traffic.
+                # (A while walk, not range(): most spans are one line,
+                # and burst payloads dominate the span count.)
+                state = lines.get(line)
+                if state is not None and (
+                    not write or state is _MODIFIED or state is _EXCLUSIVE
+                ):
+                    agent.hits += 1
+                    if write:
+                        lines[line] = _MODIFIED
+                    lines.move_to_end(line)
+                    latency = l2_hit if not write else store_buffer
+                    pending = 0.0
+                else:
+                    self._pending_queue = 0.0
+                    if state is None:
+                        agent.misses += 1
+                        latency = self._miss_fast(agent, line, write, region)
+                    else:
+                        # Write hit on a shared line: upgrade in place
+                        # (same sequence as _line_access_fast).
+                        agent.hits += 1
+                        lines.move_to_end(line)
+                        latency = self._invalidate_others(agent, line)
+                        agent.set_state(line, _MODIFIED)
+                        if latency == 0.0:
+                            latency = self._local_invalidate
+                    pending = self._pending_queue
+                if write:
+                    latency /= write_pipeline
+                if first:
+                    first = False
+                else:
+                    latency /= mlp
+                total += latency + pending
+                if prefetch:
+                    # Inline twin of _maybe_prefetch (see access()).
+                    sstate = stream.get(region.base)
+                    if sstate is None:
+                        stream[region.base] = [line, 0]
+                    else:
+                        stride = line - sstate[0]
+                        last_stride = sstate[1]
+                        sstate[0] = line
+                        sstate[1] = stride
+                        if 0 < stride <= _MAX_PREFETCH_STRIDE and (
+                            last_stride == 0 or last_stride == stride
+                        ):
+                            target = line + stride
+                            if target * 64 < region.end and target not in lines:
+                                self._prefetch_line(agent, target, region)
+                if line == last_line:
+                    break
+                line += 1
+        return total
+
+    def _access_burst_slow(
+        self,
+        agent: CacheAgent,
+        spans: List[tuple],
+        write: bool,
+    ) -> float:
+        """Reference implementation of :meth:`access_burst`."""
         total = 0.0
         first = True
         self._elapsed = 0.0
@@ -443,6 +742,120 @@ class CoherenceFabric(Instrumented):
             self._install(agent, line, LineState.SHARED, region)
         return latency
 
+    def _line_access_fast(
+        self, agent: CacheAgent, line: int, write: bool, region: Region
+    ) -> float:
+        """Plan-backed twin of :meth:`_line_access` (+ :meth:`_hit`)."""
+        lines = agent._lines
+        state = lines.get(line)
+        if state is not None:
+            agent.hits += 1
+            lines.move_to_end(line)
+            if not write:
+                return self._l2_hit
+            if state is _MODIFIED or state is _EXCLUSIVE:
+                # Assigning an existing key keeps its (just-moved)
+                # position, so no second move_to_end.
+                lines[line] = _MODIFIED
+                return self._store_buffer
+            latency = self._invalidate_others(agent, line)
+            agent.set_state(line, _MODIFIED)
+            if latency == 0.0:
+                latency = self._local_invalidate
+            return latency
+        agent.misses += 1
+        return self._miss_fast(agent, line, write, region)
+
+    def _miss_fast(
+        self, agent: CacheAgent, line: int, write: bool, region: Region
+    ) -> float:
+        """Plan-backed twin of :meth:`_miss` + :meth:`_fill_from_dram`.
+
+        The holders scan and all MESIF state transitions are the same
+        code path as the reference implementation; only the latency,
+        link-message and counter bookkeeping comes from a memoized plan.
+        """
+        holders = self._holders.get(line)
+        if not holders:
+            if region.home == agent.socket:
+                latency = self._local_dram
+            else:
+                plans = self._plans
+                if self.counters.epoch != self._plans_epoch:
+                    plans.clear()
+                    self._plans_epoch = self.counters.epoch
+                key = _PLAN_DRAM + (2 if write else 0) + agent.socket
+                plan = plans.get(key)
+                if plan is None:
+                    plan = plans[key] = self._build_dram_plan(write, agent.socket)
+                base, msgs, cell = plan
+                latency = self.link.occupy_pair(msgs, agent.name, base)
+                cell[0] += 1.0
+            self._install(agent, line, _MODIFIED if write else _EXCLUSIVE, region)
+            return latency
+        local_holder: Optional[CacheAgent] = None
+        remote_holder: Optional[CacheAgent] = None
+        dirty_holder: Optional[CacheAgent] = None
+        for holder in holders:
+            if holder.socket == agent.socket:
+                local_holder = holder
+            else:
+                remote_holder = holder
+            if holder._lines.get(line) is _MODIFIED:
+                dirty_holder = holder
+        source = dirty_holder if dirty_holder is not None else (local_holder or remote_holder)
+        if source.socket != agent.socket:
+            plans = self._plans
+            if self.counters.epoch != self._plans_epoch:
+                plans.clear()
+                self._plans_epoch = self.counters.epoch
+            home_local = region.home == agent.socket
+            key = (
+                _PLAN_REMOTE
+                + (4 if write else 0)
+                + (2 if home_local else 0)
+                + agent.socket
+            )
+            plan = plans.get(key)
+            if plan is None:
+                plan = plans[key] = self._build_remote_plan(
+                    write, home_local, agent.socket
+                )
+            latency, msgs, cell, spec_cell = plan
+            if spec_cell is not None:
+                spec_cell[0] += 1.0
+            self._pending_queue = self.link.occupy_pair(
+                msgs, agent.name, self._pending_queue
+            )
+            cell[0] += 1.0
+        else:
+            latency = self._local_cache
+        if write:
+            # Inline _drop_others over the fetched holders list: the
+            # requester missed, so it is never on the list, and every
+            # copy goes — drop the whole entry rather than removing
+            # holders one by one (_install re-creates it).
+            for holder in holders:
+                holder._lines.pop(line, None)
+            del self._holders[line]
+            self._install(agent, line, _MODIFIED, region)
+        elif dirty_holder is not None:
+            # Inline drop + _forget_holder: the holders list is already
+            # in hand and the dirty holder is known to be on it.
+            dirty_holder._lines.pop(line, None)
+            holders.remove(dirty_holder)
+            if not holders:
+                del self._holders[line]
+            self._install(agent, line, _MODIFIED, region)
+        else:
+            # Inline _downgrade_owners over the fetched holders list.
+            for holder in holders:
+                hstate = holder._lines.get(line)
+                if hstate is _EXCLUSIVE or hstate is _FORWARD:
+                    holder.set_state(line, _SHARED)
+            self._install(agent, line, _SHARED, region)
+        return latency
+
     def _fill_from_dram(
         self, agent: CacheAgent, line: int, write: bool, region: Region
     ) -> float:
@@ -500,6 +913,21 @@ class CoherenceFabric(Instrumented):
         if not found_other:
             return 0.0
         if remote:
+            if self._fastpath and self.faults is None:
+                plans = self._plans
+                if self.counters.epoch != self._plans_epoch:
+                    plans.clear()
+                    self._plans_epoch = self.counters.epoch
+                key = _PLAN_UPGRADE + agent.socket
+                plan = plans.get(key)
+                if plan is None:
+                    plan = plans[key] = self._build_upgrade_plan(agent.socket)
+                base, msgs, cell = plan
+                self._pending_queue = self.link.occupy_pair(
+                    msgs, agent.name, self._pending_queue
+                )
+                cell[0] += 1.0
+                return base
             self._pending_queue += self.link.occupy(
                 MessageClass.SNOOP, direction=agent.socket, actor=agent.name
             )
@@ -515,15 +943,26 @@ class CoherenceFabric(Instrumented):
     def _install(
         self, agent: CacheAgent, line: int, state: LineState, region: Region
     ) -> None:
-        agent.set_state(line, state)
-        holders = self._holders.setdefault(line, [])
-        if agent not in holders:
+        lines = agent._lines
+        # Every caller installs on a miss (the agent does not hold the
+        # line), so the insert already lands in MRU position.
+        lines[line] = state
+        holders = self._holders.get(line)
+        if holders is None:
+            self._holders[line] = [agent]
+        elif agent not in holders:
             holders.append(agent)
-        victim = agent.evict_victim()
-        if victim is not None:
-            vline, vstate = victim
-            self._forget_holder(agent, vline)
-            if vstate is LineState.MODIFIED:
+        if len(lines) > agent.capacity_lines:
+            # Inline evict_victim + _forget_holder: at steady state this
+            # runs on every install.
+            vline, vstate = lines.popitem(last=False)
+            agent.evictions += 1
+            vholders = self._holders.get(vline)
+            if vholders is not None and agent in vholders:
+                vholders.remove(agent)
+                if not vholders:
+                    del self._holders[vline]
+            if vstate is _MODIFIED:
                 vregion = self.space.try_region_of(vline * 64)
                 vhome = vregion.home if vregion is not None else agent.socket
                 if vhome != agent.socket:
@@ -546,24 +985,26 @@ class CoherenceFabric(Instrumented):
     # Prefetcher model (DCU IP: detects +1 line strides within a region)
     # ------------------------------------------------------------------
     #: Largest constant stride (in lines) the prefetcher recognizes.
-    MAX_PREFETCH_STRIDE = 4
+    MAX_PREFETCH_STRIDE = _MAX_PREFETCH_STRIDE
 
     def _maybe_prefetch(self, agent: CacheAgent, line: int, region: Region) -> None:
         if not agent.prefetch:
             return
         state = agent.stream_state.get(region.base)
         if state is None:
-            agent.stream_state[region.base] = (line, 0)
+            agent.stream_state[region.base] = [line, 0]
             return
-        last, last_stride = state
+        last = state[0]
+        last_stride = state[1]
         stride = line - last
-        agent.stream_state[region.base] = (line, stride)
+        state[0] = line
+        state[1] = stride
         # DCU-IP style: a small positive stride arms the prefetcher for
         # the next element of the stream (a changed stride disarms it
         # until it repeats).
-        if not 0 < stride <= self.MAX_PREFETCH_STRIDE:
+        if stride <= 0 or stride > self.MAX_PREFETCH_STRIDE:
             return
-        if last_stride not in (0, stride):
+        if last_stride != 0 and last_stride != stride:
             return
         target = line + stride
         if target * 64 >= region.end:
@@ -574,13 +1015,32 @@ class CoherenceFabric(Instrumented):
 
     def _prefetch_line(self, agent: CacheAgent, line: int, region: Region) -> None:
         """Fetch a line into the cache off the critical path."""
-        holders = self._holders.get(line, [])
+        holders = self._holders.get(line)
         dirty_holder = None
-        for holder in holders:
-            if holder.peek(line) is LineState.MODIFIED:
-                dirty_holder = holder
-        remote_source = any(h.socket != agent.socket for h in holders)
-        if remote_source or (not holders and region.home != agent.socket):
+        if holders:
+            socket = agent.socket
+            crosses = False
+            for holder in holders:
+                if holder._lines.get(line) is _MODIFIED:
+                    dirty_holder = holder
+                if holder.socket != socket:
+                    crosses = True
+        else:
+            crosses = region.home != agent.socket
+        if self._fastpath and self.faults is None:
+            plans = self._plans
+            if self.counters.epoch != self._plans_epoch:
+                plans.clear()
+                self._plans_epoch = self.counters.epoch
+            key = _PLAN_PREFETCH + (2 if crosses else 0) + agent.socket
+            plan = plans.get(key)
+            if plan is None:
+                plan = plans[key] = self._build_prefetch_plan(crosses, agent.socket)
+            _base, msgs, cell = plan
+            if msgs:
+                self.link.occupy_pair(msgs, agent.name)
+            cell[0] += 1.0
+        elif crosses:
             # Request is control-only; the data line returns on the
             # opposite direction.
             self.link.occupy(
@@ -599,11 +1059,19 @@ class CoherenceFabric(Instrumented):
         else:
             self._count(agent.socket, "prefetch_local")
         if dirty_holder is not None:
-            dirty_holder.drop(line)
-            self._forget_holder(dirty_holder, line)
+            # Inline drop + _forget_holder (holders list is in hand).
+            dirty_holder._lines.pop(line, None)
+            holders.remove(dirty_holder)
+            if not holders:
+                del self._holders[line]
             self._install(agent, line, LineState.MODIFIED, region)
         else:
-            self._downgrade_owners(line)
+            if holders:
+                # Inline _downgrade_owners over the fetched list.
+                for holder in holders:
+                    hstate = holder._lines.get(line)
+                    if hstate is _EXCLUSIVE or hstate is _FORWARD:
+                        holder.set_state(line, _SHARED)
             self._install(agent, line, LineState.SHARED, region)
 
     # ------------------------------------------------------------------

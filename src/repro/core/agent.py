@@ -54,6 +54,8 @@ class NicQueueAgent(Instrumented):
         # calls reinit(). lost_packets counts wire drops from resets.
         self.wedged = False
         self.lost_packets = 0
+        # Per-packet processing charge, precomputed (cycles() is pure).
+        self._pkt_ns = interface.system.cycles(NIC_CYCLES_PER_PKT)
 
     # ------------------------------------------------------------------
     def _obs_component(self) -> str:
@@ -72,8 +74,16 @@ class NicQueueAgent(Instrumented):
         """Generator body for the simulator (the NIC polling loop)."""
         sim = self.interface.system.sim
         config = self.interface.config
+        interface = self.interface
+        # Hot-loop hoists over construction-time-stable state; faults is
+        # re-read each iteration because injectors may attach mid-run.
+        tx_poll = self.pair.tx.poll
+        tx_batch = config.tx_batch
+        agent = self.agent
+        assemble = self._assemble
+        take_arrived = self._take_arrived
         while True:
-            faults = self.interface.faults
+            faults = interface.faults
             if faults is not None:
                 fault = faults.nic_decide(self.queue_index, sim.now)
                 if fault is not None:
@@ -90,14 +100,14 @@ class NicQueueAgent(Instrumented):
             busy = False
             ns = 0.0
             # --- TX: consume descriptors, read payloads, transmit.
-            items, poll_ns = self.pair.tx.poll(self.agent, config.tx_batch)
+            items, poll_ns = tx_poll(agent, tx_batch)
             ns += poll_ns
-            packets = self._assemble(items)
+            packets = assemble(items)
             if packets:
                 busy = True
                 ns += self._transmit(packets, sim.now + ns)
             # --- RX: deliver packets that have finished the wire delay.
-            arrived = self._take_arrived(sim.now + ns)
+            arrived = take_arrived(sim.now + ns)
             if arrived:
                 busy = True
                 ns += self._receive(arrived, base_ns=ns)
@@ -147,28 +157,35 @@ class NicQueueAgent(Instrumented):
         """Read payloads, free TX buffers, place packets on the wire."""
         config = self.interface.config
         fabric = self.interface.system.fabric
-        tracer = self.obs.tracer
-        span = None
-        if tracer.enabled:
-            span = tracer.begin(
-                "nic_tx",
-                actor=self.agent.name,
-                category="nic",
-                start_ns=now,
-                packets=len(packets),
-            )
+        tracer = span = None
+        if self.obs_enabled:
+            tracer = self.obs.tracer
+            if tracer.enabled:
+                span = tracer.begin(
+                    "nic_tx",
+                    actor=self.agent.name,
+                    category="nic",
+                    start_ns=now,
+                    packets=len(packets),
+                )
         ns = 0.0
         to_free: List[Buffer] = []
-        spans = [
-            (seg.addr, seg.data_len)
-            for _pkt, buf in packets
-            for seg in buf.segments()
-            if seg.data_len
-        ]
+        spans = []
+        for _pkt, buf in packets:
+            seg = buf
+            while seg is not None:
+                if seg.data_len:
+                    spans.append((seg.addr, seg.data_len))
+                seg = seg.seg_next
         ns += fabric.access_burst(self.agent, spans, write=False)
+        pkt_ns = self._pkt_ns
         for pkt, buf in packets:
-            ns += self.interface.system.cycles(NIC_CYCLES_PER_PKT)
-            to_free.extend(seg for seg in buf.segments() if not seg.external)
+            ns += pkt_ns
+            seg = buf
+            while seg is not None:
+                if not seg.external:
+                    to_free.append(seg)
+                seg = seg.seg_next
             if self.on_transmit is not None:
                 self.on_transmit(pkt, now + ns + config.wire_delay_ns)
             else:
@@ -206,16 +223,17 @@ class NicQueueAgent(Instrumented):
         """
         config = self.interface.config
         fabric = self.interface.system.fabric
-        tracer = self.obs.tracer
-        span = None
-        if tracer.enabled:
-            span = tracer.begin(
-                "nic_rx",
-                actor=self.agent.name,
-                category="nic",
-                start_ns=self.interface.system.sim.now + base_ns,
-                packets=len(packets),
-            )
+        tracer = span = None
+        if self.obs_enabled:
+            tracer = self.obs.tracer
+            if tracer.enabled:
+                span = tracer.begin(
+                    "nic_rx",
+                    actor=self.agent.name,
+                    category="nic",
+                    start_ns=self.interface.system.sim.now + base_ns,
+                    packets=len(packets),
+                )
         ns = 0.0
         items: List[WorkItem] = []
         spans: List[Tuple[int, int]] = []
@@ -233,7 +251,7 @@ class NicQueueAgent(Instrumented):
                     spans.append((seg.addr, seg.data_len))
                 else:
                     ns += fabric.nt_store(self.agent, seg.addr, seg.data_len)
-            ns += self.interface.system.cycles(NIC_CYCLES_PER_PKT)
+            ns += self._pkt_ns
             items.append(WorkItem(buf=buf, length=pkt.size, pkt=pkt))
         if spans:
             ns += fabric.access_burst(self.agent, spans, write=True)

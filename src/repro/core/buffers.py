@@ -72,4 +72,6 @@ class Buffer:
     @property
     def total_len(self) -> int:
         """Payload length across all chained segments."""
+        if self.seg_next is None:
+            return self.data_len
         return sum(seg.data_len for seg in self.segments())

@@ -138,16 +138,17 @@ class CcnicDriver(RecoverableDriver, Instrumented):
             :class:`TxResult`; packets beyond ring capacity are not
             submitted and their descriptors are untouched.
         """
-        tracer = self.obs.tracer
-        span = None
-        if tracer.enabled:
-            span = tracer.begin(
-                "tx_burst",
-                actor=self.agent.name,
-                category="driver",
-                start_ns=self.interface.system.sim.now + base_ns,
-                packets=len(entries),
-            )
+        tracer = span = None
+        if self.obs_enabled:
+            tracer = self.obs.tracer
+            if tracer.enabled:
+                span = tracer.begin(
+                    "tx_burst",
+                    actor=self.agent.name,
+                    category="driver",
+                    start_ns=self.interface.system.sim.now + base_ns,
+                    packets=len(entries),
+                )
         items: List[WorkItem] = []
         bounds: List[int] = []  # item count after each whole packet
         for buf, pkt in entries:
@@ -155,9 +156,10 @@ class CcnicDriver(RecoverableDriver, Instrumented):
                 raise NicError(f"buffer {buf.buf_id} submitted without payload")
             self._seq += 1
             items.append(WorkItem(buf=buf, length=buf.total_len, pkt=pkt, seq=self._seq))
-            segments = sum(1 for _ in buf.segments())
-            for _ in range(segments - 1):
+            seg = buf.seg_next  # single-segment packets skip the chain walk
+            while seg is not None:
                 items.append(WorkItem(buf=buf, length=0, pkt=CONTINUATION, seq=self._seq))
+                seg = seg.seg_next
             bounds.append(len(items))
         accepted_items, ns = self.pair.tx.produce(
             self.agent, items, base_ns=base_ns, bounds=bounds
@@ -175,15 +177,16 @@ class CcnicDriver(RecoverableDriver, Instrumented):
 
     def rx_burst(self, max_packets: int) -> RxResult:
         """Poll the RX ring for up to ``max_packets`` received packets."""
-        tracer = self.obs.tracer
-        span = None
-        if tracer.enabled:
-            span = tracer.begin(
-                "rx_burst",
-                actor=self.agent.name,
-                category="driver",
-                start_ns=self.interface.system.sim.now,
-            )
+        tracer = span = None
+        if self.obs_enabled:
+            tracer = self.obs.tracer
+            if tracer.enabled:
+                span = tracer.begin(
+                    "rx_burst",
+                    actor=self.agent.name,
+                    category="driver",
+                    start_ns=self.interface.system.sim.now,
+                )
         items, ns = self.pair.rx.poll(self.agent, max_packets)
         out = [(item.pkt, item.buf) for item in items if item.pkt is not CONTINUATION]
         self.rx_packets += len(out)

@@ -71,6 +71,33 @@ class BufferPool(Instrumented):
         self._stacks: Dict[str, List[Buffer]] = {}
         self._small_stacks: Dict[str, List[Buffer]] = {}
         self.stats = Counter()
+        # Hot-path counter cells, refetched when the bag is reset (its
+        # epoch changes); see _cells_live().
+        self._cells_epoch = -1
+        self._refresh_cells()
+        # Per-buffer work charges, precomputed (cycles() is pure).
+        self._cycles_buf = system.cycles(self.CYCLES_PER_BUF)
+        self._cycles_stack = system.cycles(self.CYCLES_STACK)
+
+    # ------------------------------------------------------------------
+    # Hot-path counter cells
+    # ------------------------------------------------------------------
+    def _refresh_cells(self) -> None:
+        stats = self.stats
+        self._c_alloc_ops = stats.cell("alloc_ops")
+        self._c_alloc_bufs = stats.cell("alloc_bufs")
+        self._c_free_ops = stats.cell("free_ops")
+        self._c_free_bufs = stats.cell("free_bufs")
+        self._c_stack_alloc = stats.cell("stack_alloc")
+        self._c_stack_free = stats.cell("stack_free")
+        self._c_shared_alloc = stats.cell("shared_alloc")
+        self._c_shared_free = stats.cell("shared_free")
+        self._cells_epoch = stats.epoch
+
+    def _cells_live(self) -> None:
+        """Revalidate cached cells after a Counter.reset() (epoch bump)."""
+        if self.stats.epoch != self._cells_epoch:
+            self._refresh_cells()
 
     # ------------------------------------------------------------------
     # Telemetry
@@ -106,33 +133,74 @@ class BufferPool(Instrumented):
         config = self.config
         out: List[Buffer] = []
         ns = 0.0
+        if self.stats.epoch != self._cells_epoch:
+            self._refresh_cells()
+        recycling = config.buf_recycling
+        small_on = config.small_buffers
+        small_threshold = config.small_threshold
+        stacks = self._stacks
+        small_stacks = self._small_stacks
+        name = agent.name
+        cycles_stack = self._cycles_stack
+        c_stack_alloc = self._c_stack_alloc
         for size in sizes:
             if size <= 0:
                 raise PoolError(f"cannot allocate for payload of {size}B")
-            want_small = config.small_buffers and size <= config.small_threshold
-            buf, cost = self._alloc_one(agent, want_small)
-            ns += cost
+            want_small = small_on and size <= small_threshold
+            # Recycling-stack hit inlined (the steady-state path);
+            # anything else goes through _alloc_one.
+            buf = None
+            if recycling:
+                stack = (small_stacks if want_small else stacks).get(name)
+                if stack:
+                    c_stack_alloc[0] += 1.0
+                    buf = stack.pop()
+                    ns += cycles_stack
             if buf is None:
-                break
+                buf, cost = self._alloc_one(agent, want_small)
+                ns += cost
+                if buf is None:
+                    break
             buf._allocated = True
             buf.data_len = 0
             buf.seg_next = None
             out.append(buf)
-        self.stats.add("alloc_ops")
-        self.stats.add("alloc_bufs", len(out))
+        self._c_alloc_ops[0] += 1.0
+        self._c_alloc_bufs[0] += len(out)
         return out, ns
 
     def free(self, agent: CacheAgent, bufs: Sequence[Buffer]) -> float:
         """Return buffers to the pool; returns the ns cost."""
         ns = 0.0
+        if self.stats.epoch != self._cells_epoch:
+            self._refresh_cells()
+        recycling = self.config.buf_recycling
+        recycle_max = self.config.recycle_stack_max
+        stacks = self._stacks
+        small_stacks = self._small_stacks
+        name = agent.name
+        cycles_stack = self._cycles_stack
+        c_stack_free = self._c_stack_free
         for buf in bufs:
             if not buf._allocated:
                 raise PoolError(f"double free of buffer {buf.buf_id}")
             buf._allocated = False
             buf.seg_next = None
+            # Recycling-stack push inlined (the steady-state path);
+            # stack-full and non-recycling frees go through _free_one.
+            if recycling:
+                table = small_stacks if buf.small else stacks
+                stack = table.get(name)
+                if stack is None:
+                    stack = table[name] = []
+                if len(stack) < recycle_max:
+                    stack.append(buf)
+                    c_stack_free[0] += 1.0
+                    ns += cycles_stack
+                    continue
             ns += self._free_one(agent, buf)
-        self.stats.add("free_ops")
-        self.stats.add("free_bufs", len(bufs))
+        self._c_free_ops[0] += 1.0
+        self._c_free_bufs[0] += len(bufs)
         return ns
 
     # ------------------------------------------------------------------
@@ -140,16 +208,19 @@ class BufferPool(Instrumented):
     # ------------------------------------------------------------------
     def _stack_for(self, agent: CacheAgent, small: bool) -> List[Buffer]:
         table = self._small_stacks if small else self._stacks
-        return table.setdefault(agent.name, [])
+        stack = table.get(agent.name)
+        if stack is None:
+            stack = table[agent.name] = []
+        return stack
 
     def _alloc_one(self, agent: CacheAgent, want_small: bool) -> tuple:
         config = self.config
-        cycles = self.system.cycles(self.CYCLES_PER_BUF)
+        cycles = self._cycles_buf
         if config.buf_recycling:
             stack = self._stack_for(agent, want_small)
             if stack:
-                self.stats.add("stack_alloc")
-                return stack.pop(), self.system.cycles(self.CYCLES_STACK)
+                self._c_stack_alloc[0] += 1.0
+                return stack.pop(), self._cycles_stack
         if want_small:
             if self._shared_small:
                 return self._shared_small.popleft(), cycles + self._shared_access(
@@ -165,11 +236,11 @@ class BufferPool(Instrumented):
             else:
                 self._shared_small.extend(smalls)
             self.stats.add("subdivisions")
-            return keep, cost + self.system.cycles(self.CYCLES_PER_BUF)
+            return keep, cost + cycles
         if not self._shared:
             self.stats.add("exhausted")
             return None, cycles
-        self.stats.add("shared_alloc")
+        self._c_shared_alloc[0] += 1.0
         buf = self._shared.popleft()
         return buf, cycles + self._shared_access(agent, 1, write=False)
 
@@ -179,14 +250,12 @@ class BufferPool(Instrumented):
             stack = self._stack_for(agent, buf.small)
             if len(stack) < config.recycle_stack_max:
                 stack.append(buf)
-                self.stats.add("stack_free")
-                return self.system.cycles(self.CYCLES_STACK)
+                self._c_stack_free[0] += 1.0
+                return self._cycles_stack
         target = self._shared_small if buf.small else self._shared
         target.append(buf)
-        self.stats.add("shared_free")
-        return self.system.cycles(self.CYCLES_PER_BUF) + self._shared_access(
-            agent, 1, write=True
-        )
+        self._c_shared_free[0] += 1.0
+        return self._cycles_buf + self._shared_access(agent, 1, write=True)
 
     def _subdivide(self, parent: Buffer) -> List[Buffer]:
         """Split a 4KB buffer into 128B small buffers."""

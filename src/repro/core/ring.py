@@ -65,24 +65,14 @@ class WorkItem:
     visible_at: float = 0.0
 
 
-class _BurstMeter:
-    """Overlap accounting for independent line operations in one call.
-
-    The first operation pays full latency; subsequent independent line
-    operations issued back-to-back by the same core overlap in its fill
-    buffers and pay ``cost / mlp`` (mirroring
-    :meth:`~repro.coherence.fabric.CoherenceFabric.access_burst`).
-    """
-
-    def __init__(self, mlp: float) -> None:
-        self.mlp = mlp
-        self.first = True
-
-    def charge(self, cost: float) -> float:
-        if self.first:
-            self.first = False
-            return cost
-        return cost / self.mlp
+# Overlap accounting for independent line operations in one call: the
+# first operation pays full latency; subsequent independent line
+# operations issued back-to-back by the same core overlap in its fill
+# buffers and pay ``cost / mlp`` (mirroring
+# :meth:`~repro.coherence.fabric.CoherenceFabric.access_burst`). The
+# producer/consumer loops below track this with two locals (``first``,
+# ``mlp``) rather than a meter object — produce/poll run once per
+# simulated burst, so the allocation showed up in profiles.
 
 
 class CoherentQueue(Instrumented):
@@ -127,6 +117,23 @@ class CoherentQueue(Instrumented):
         self._tail_visible_at = 0.0    # when the published tail retires
         self.produced = 0
         self.consumed = 0
+        # Hot-path constants: cycles() is pure in its argument, so the
+        # per-descriptor charges are precomputed. The grouped table holds
+        # cycles(CYCLES_PER_DESC * k) exactly as produce() charges a
+        # k-descriptor group (NOT k * cycles(CYCLES_PER_DESC), which can
+        # differ in floating point).
+        self._cycles_desc = system.cycles(self.CYCLES_PER_DESC)
+        self._cycles_group = tuple(
+            system.cycles(self.CYCLES_PER_DESC * k) for k in range(GROUP + 1)
+        )
+        # The signalling protocol is fixed at construction, so the poll
+        # strategy binds once instead of re-dispatching per call.
+        self._grouped = inline_signals and layout is DescLayout.OPT
+        self._poll_impl = (
+            self._poll_grouped if self._grouped
+            else self._poll_per_descriptor if inline_signals
+            else self._poll_register
+        )
 
     # ------------------------------------------------------------------
     # Telemetry
@@ -160,7 +167,7 @@ class CoherentQueue(Instrumented):
     @property
     def grouped(self) -> bool:
         """True when the OPT grouped-line protocol applies."""
-        return self.inline_signals and self.layout is DescLayout.OPT
+        return self._grouped
 
     # ------------------------------------------------------------------
     # Producer side
@@ -198,32 +205,53 @@ class CoherentQueue(Instrumented):
                     limit = bound
             items = items[:limit]
         remaining = list(items)
-        meter = _BurstMeter(fabric.mlp)
-        if self.grouped:
+        mlp = fabric.mlp
+        first = True
+        now = self.system.sim.now
+        if self._grouped:
             # Invariant: tail is always group-aligned; each produce call
-            # writes whole lines, zero-padding partial groups.
-            while remaining and self.space() >= GROUP:
+            # writes whole lines, zero-padding partial groups. Alignment
+            # also means a group never wraps, so one modulo per group
+            # suffices and the line address is computed inline.
+            slots = self._slots
+            n_slots = self.n_slots
+            cycles_group = self._cycles_group
+            region_base = self.region.base
+            bps = self._bytes_per_slot
+            while remaining and n_slots - (self.tail - self.head) >= GROUP:
                 group = remaining[:GROUP]
                 del remaining[: len(group)]
                 base = self.tail
+                i0 = base % n_slots
                 for offset in range(GROUP):
                     value = group[offset] if offset < len(group) else _SKIPPED
-                    self._slots[(base + offset) % self.n_slots] = value
+                    slots[i0 + offset] = value
                 self.tail = base + GROUP
-                ns += meter.charge(fabric.write(agent, self.line_addr(base), 64))
-                ns += self.system.cycles(self.CYCLES_PER_DESC * len(group))
+                addr = region_base + i0 * bps
+                cost = fabric.access(agent, addr - (addr % 64), 64, True)
+                if first:
+                    first = False
+                    ns += cost
+                else:
+                    ns += cost / mlp
+                ns += cycles_group[len(group)]
+                visible = now + base_ns + ns
                 for item in group:
-                    item.visible_at = self.system.sim.now + base_ns + ns
+                    item.visible_at = visible
                 accepted += len(group)
         else:
+            cycles_desc = self._cycles_desc
             while remaining and self.space() > 0:
                 item = remaining.pop(0)
                 self._slots[self.tail % self.n_slots] = item
-                ns += meter.charge(
-                    fabric.write(agent, self.slot_addr(self.tail), self._bytes_per_slot)
-                )
-                ns += self.system.cycles(self.CYCLES_PER_DESC)
-                item.visible_at = self.system.sim.now + base_ns + ns
+                cost = fabric.write(agent, self.slot_addr(self.tail), self._bytes_per_slot)
+                if first:
+                    first = False
+                    ns += cost
+                else:
+                    ns += cost / mlp
+                ns += cycles_desc
+                item.visible_at = now + base_ns + ns
                 self.tail += 1
                 accepted += 1
         if accepted and not self.inline_signals:
@@ -250,12 +278,7 @@ class CoherentQueue(Instrumented):
         """
         if max_items <= 0:
             raise NicError("max_items must be positive")
-        if not self.inline_signals:
-            items, ns = self._poll_register(agent, max_items)
-        elif self.grouped:
-            items, ns = self._poll_grouped(agent, max_items)
-        else:
-            items, ns = self._poll_per_descriptor(agent, max_items)
+        items, ns = self._poll_impl(agent, max_items)
         self.consumed += len(items)
         return items, ns
 
@@ -270,16 +293,21 @@ class CoherentQueue(Instrumented):
         if available <= 0:
             return out, ns
         take = min(available, max_items)
-        meter = _BurstMeter(fabric.mlp)
+        mlp = fabric.mlp
+        first = True
+        cycles_desc = self._cycles_desc
         while len(out) < take:
             index = self.head % self.n_slots
             item = self._slots[index]
             if item is None:
                 raise NicError(f"queue {self.name!r}: hole under the tail register")
-            ns += meter.charge(
-                fabric.read(agent, self.slot_addr(self.head), self._bytes_per_slot)
-            )
-            ns += self.system.cycles(self.CYCLES_PER_DESC)
+            cost = fabric.read(agent, self.slot_addr(self.head), self._bytes_per_slot)
+            if first:
+                first = False
+                ns += cost
+            else:
+                ns += cost / mlp
+            ns += cycles_desc
             self._slots[index] = None
             out.append(item)
             self.head += 1
@@ -291,26 +319,41 @@ class CoherentQueue(Instrumented):
         fabric = self.system.fabric
         ns = 0.0
         out: List[WorkItem] = []
-        meter = _BurstMeter(fabric.mlp)
-        sim = self.system.sim
+        mlp = fabric.mlp
+        first = True
+        now = self.system.sim.now
+        slots = self._slots
+        n_slots = self.n_slots
+        cycles_desc = self._cycles_desc
+        region_base = self.region.base
+        bps = self._bytes_per_slot
+        append = out.append
         while len(out) < max_items:
-            base = self.head  # group-aligned by construction
-            ns += meter.charge(fabric.read(agent, self.line_addr(base), 64))
-            first_slot = self._slots[base % self.n_slots]
+            base = self.head  # group-aligned, so the group never wraps
+            i0 = base % n_slots
+            addr = region_base + i0 * bps
+            line = addr - (addr % 64)
+            cost = fabric.access(agent, line, 64, False)
+            if first:
+                first = False
+                ns += cost
+            else:
+                ns += cost / mlp
+            first_slot = slots[i0]
             if first_slot is None:
                 break  # unproduced line: this read was the (cheap) signal poll
-            if isinstance(first_slot, WorkItem) and first_slot.visible_at > sim.now:
+            if isinstance(first_slot, WorkItem) and first_slot.visible_at > now:
                 break  # written, but the store has not retired yet
-            for offset in range(GROUP):
-                index = (base + offset) % self.n_slots
-                entry = self._slots[index]
-                self._slots[index] = None
+            for index in (i0, i0 + 1, i0 + 2, i0 + 3):
+                entry = slots[index]
+                slots[index] = None
                 if entry is not _SKIPPED and entry is not None:
-                    out.append(entry)
-                    ns += self.system.cycles(self.CYCLES_PER_DESC)
+                    append(entry)
+                    ns += cycles_desc
             # Clearing the line is the completion signal back to the
             # producer (Fig 6b): one write frees the group for reuse.
-            ns += meter.charge(fabric.write(agent, self.line_addr(base), 64))
+            cost = fabric.access(agent, line, 64, True)
+            ns += cost / mlp
             self.head = base + GROUP
         return out, ns
 
@@ -318,22 +361,26 @@ class CoherentQueue(Instrumented):
         fabric = self.system.fabric
         ns = 0.0
         out: List[WorkItem] = []
-        meter = _BurstMeter(fabric.mlp)
-        sim = self.system.sim
+        mlp = fabric.mlp
+        first = True
+        now = self.system.sim.now
+        cycles_desc = self._cycles_desc
         while len(out) < max_items:
             index = self.head % self.n_slots
             item = self._slots[index]
-            ns += meter.charge(
-                fabric.read(agent, self.slot_addr(self.head), self._bytes_per_slot)
-            )
+            cost = fabric.read(agent, self.slot_addr(self.head), self._bytes_per_slot)
+            if first:
+                first = False
+                ns += cost
+            else:
+                ns += cost / mlp
             if item is None:
                 break
-            if item.visible_at > sim.now:
+            if item.visible_at > now:
                 break
-            ns += meter.charge(
-                fabric.write(agent, self.slot_addr(self.head), self._bytes_per_slot)
-            )
-            ns += self.system.cycles(self.CYCLES_PER_DESC)
+            cost = fabric.write(agent, self.slot_addr(self.head), self._bytes_per_slot)
+            ns += cost / mlp
+            ns += cycles_desc
             self._slots[index] = None
             out.append(item)
             self.head += 1

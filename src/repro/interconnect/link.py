@@ -20,36 +20,59 @@ bandwidth-share model for multi-core scaling.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.errors import InterconnectError
 from repro.interconnect.messages import MessageClass
 from repro.sim.engine import Simulator
 
 
-@dataclass
 class LinkStats:
-    """Aggregate per-direction traffic counters."""
+    """Aggregate per-direction traffic counters.
 
-    messages: int = 0
-    payload_bytes: int = 0
-    wire_bytes: int = 0
-    busy_ns: float = 0.0
-    # One [count, wire_bytes] cell per message class: note() is on the
-    # per-message hot path, so both counters share a single dict lookup.
-    _per_class: Dict[str, list] = field(default_factory=dict)
+    The four scalar counters live in the mutable list :attr:`agg`
+    (``[messages, payload_bytes, wire_bytes, busy_ns]``) so batched
+    senders (:meth:`Link.occupy_pair`) can bump them with plain list
+    stores; the named attributes stay available as read-only properties
+    for snapshot-time consumers.
+    """
+
+    __slots__ = ("agg", "_per_class")
+
+    def __init__(self) -> None:
+        self.agg: list = [0, 0, 0, 0.0]
+        # One [count, wire_bytes] cell per message class: note() is on
+        # the per-message hot path, so both counters share a single
+        # dict lookup.
+        self._per_class: Dict[str, list] = {}
 
     def note(self, cls: MessageClass, payload: int, wire: int, ser_ns: float) -> None:
-        self.messages += 1
-        self.payload_bytes += payload
-        self.wire_bytes += wire
-        self.busy_ns += ser_ns
+        agg = self.agg
+        agg[0] += 1
+        agg[1] += payload
+        agg[2] += wire
+        agg[3] += ser_ns
         entry = self._per_class.get(cls.value)
         if entry is None:
             self._per_class[cls.value] = entry = [0, 0]
         entry[0] += 1
         entry[1] += wire
+
+    @property
+    def messages(self) -> int:
+        return self.agg[0]
+
+    @property
+    def payload_bytes(self) -> int:
+        return self.agg[1]
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.agg[2]
+
+    @property
+    def busy_ns(self) -> float:
+        return self.agg[3]
 
     @property
     def by_class(self) -> Dict[str, int]:
@@ -60,6 +83,13 @@ class LinkStats:
     def wire_by_class(self) -> Dict[str, int]:
         """Per-class wire bytes (snapshot view)."""
         return {k: v[1] for k, v in self._per_class.items()}
+
+    def class_cell(self, cls: MessageClass) -> list:
+        """Get-or-create the mutable ``[count, wire_bytes]`` cell of a class."""
+        entry = self._per_class.get(cls.value)
+        if entry is None:
+            self._per_class[cls.value] = entry = [0, 0]
+        return entry
 
 
 class Link:
@@ -104,6 +134,9 @@ class Link:
         self._rho = [0.0, 0.0]
         self._rho_by: list = [{}, {}]
         self.stats = (LinkStats(), LinkStats())
+        #: Invoked (no args) by :meth:`scaled` so callers holding
+        #: precomputed wire/serialization figures can invalidate them.
+        self.on_scaled: Optional[Callable[[], None]] = None
 
     # ------------------------------------------------------------------
     def one_way(
@@ -255,6 +288,160 @@ class Link:
         fair = ser * max(0.0, total / own - 1.0) * rho_total * rho_total
         return min(mm1, fair)
 
+    def occupy_pair(self, plan: tuple, actor: str, base: float = 0.0) -> float:
+        """Charge a flattened two-message plan; return ``base`` + waits.
+
+        The coherence fabric's memoized transition plans always pair one
+        request message with one response on the opposite half of the
+        duplex link, so the whole plan is a flat 16-field tuple — two
+        ``(direction, cls, payload, wire, ser, charge_queueing, agg,
+        class_cell)`` rows concatenated — that unpacks in one step and
+        runs straight-line. ``wire``/``ser`` are resolved against the
+        current bandwidth and header configuration and ``agg``/
+        ``class_cell`` are the live statistics cells of each direction's
+        :class:`LinkStats` (the fabric rebuilds its plans via
+        :attr:`on_scaled` when either goes stale — both :meth:`scaled`
+        and :meth:`reset_stats` fire it). The accounting is
+        bit-identical to calling :meth:`occupy` once per row — same
+        window rolls, same per-actor demand updates, same wait
+        arithmetic in the same evaluation order — batching away only
+        the per-call validation, payload resolution and attribute
+        traffic. Rows with ``charge_queueing`` False still consume
+        window demand but add nothing to the returned total. With
+        faults attached this falls back to per-message :meth:`occupy`
+        so fault draws keep their order.
+        """
+        (d0, cls0, payload0, wire0, ser0, charge0, agg0, cell0,
+         d1, cls1, payload1, wire1, ser1, charge1, agg1, cell1) = plan
+        if self.faults is not None:
+            wait = self.occupy(
+                cls0, d0, payload_bytes=payload0 or None,
+                charge_queueing=charge0, actor=actor,
+            )
+            if charge0:
+                base += wait
+            wait = self.occupy(
+                cls1, d1, payload_bytes=payload1 or None,
+                charge_queueing=charge1, actor=actor,
+            )
+            if charge1:
+                base += wait
+            return base
+        window = self.WINDOW_NS
+        cap = self.RHO_CAP
+        t = self.sim.now
+        win_busy = self._win_busy
+        win_by = self._win_by
+        win_start = self._win_start
+        rho_settled = self._rho
+        rho_by = self._rho_by
+        live_floor = window / 4
+        # --- request row
+        elapsed = t - win_start[d0]
+        if elapsed >= window:
+            rho_settled[d0] = min(cap, win_busy[d0] / elapsed)
+            rho_by[d0] = {
+                a: min(cap, busy / elapsed)
+                for a, busy in win_by[d0].items()
+            }
+            win_start[d0] = t
+            win_busy[d0] = 0.0
+            win_by[d0] = {}
+        busy = win_busy[d0] + ser0
+        win_busy[d0] = busy
+        by = win_by[d0]
+        try:
+            mine = by[actor] + ser0
+        except KeyError:
+            mine = ser0
+        by[actor] = mine
+        agg0[0] += 1
+        agg0[1] += payload0
+        agg0[2] += wire0
+        agg0[3] += ser0
+        cell0[0] += 1
+        cell0[1] += wire0
+        if charge0:
+            try:
+                settled_others = rho_settled[d0] - rho_by[d0][actor]
+            except KeyError:
+                settled_others = rho_settled[d0]
+            if settled_others < 0.0:
+                settled_others = 0.0
+            live_elapsed = t - win_start[d0] + ser0
+            if live_elapsed < live_floor:
+                live_elapsed = live_floor
+            live_others = (busy - mine) / live_elapsed
+            rho_others = settled_others if settled_others >= live_others else live_others
+            if rho_others > cap:
+                rho_others = cap
+            if rho_others > 0.0:
+                mm1 = ser0 * rho_others / (1.0 - rho_others)
+                own = mine if mine >= ser0 else ser0
+                settled_total = rho_settled[d0]
+                live_total = busy / live_elapsed
+                rho_total = settled_total if settled_total >= live_total else live_total
+                if rho_total > 1.0:
+                    rho_total = 1.0
+                over = busy / own - 1.0
+                if over < 0.0:
+                    over = 0.0
+                fair = ser0 * over * rho_total * rho_total
+                base += mm1 if mm1 <= fair else fair
+        # --- response row (opposite direction, so state is independent)
+        elapsed = t - win_start[d1]
+        if elapsed >= window:
+            rho_settled[d1] = min(cap, win_busy[d1] / elapsed)
+            rho_by[d1] = {
+                a: min(cap, busy / elapsed)
+                for a, busy in win_by[d1].items()
+            }
+            win_start[d1] = t
+            win_busy[d1] = 0.0
+            win_by[d1] = {}
+        busy = win_busy[d1] + ser1
+        win_busy[d1] = busy
+        by = win_by[d1]
+        try:
+            mine = by[actor] + ser1
+        except KeyError:
+            mine = ser1
+        by[actor] = mine
+        agg1[0] += 1
+        agg1[1] += payload1
+        agg1[2] += wire1
+        agg1[3] += ser1
+        cell1[0] += 1
+        cell1[1] += wire1
+        if charge1:
+            try:
+                settled_others = rho_settled[d1] - rho_by[d1][actor]
+            except KeyError:
+                settled_others = rho_settled[d1]
+            if settled_others < 0.0:
+                settled_others = 0.0
+            live_elapsed = t - win_start[d1] + ser1
+            if live_elapsed < live_floor:
+                live_elapsed = live_floor
+            live_others = (busy - mine) / live_elapsed
+            rho_others = settled_others if settled_others >= live_others else live_others
+            if rho_others > cap:
+                rho_others = cap
+            if rho_others > 0.0:
+                mm1 = ser1 * rho_others / (1.0 - rho_others)
+                own = mine if mine >= ser1 else ser1
+                settled_total = rho_settled[d1]
+                live_total = busy / live_elapsed
+                rho_total = settled_total if settled_total >= live_total else live_total
+                if rho_total > 1.0:
+                    rho_total = 1.0
+                over = busy / own - 1.0
+                if over < 0.0:
+                    over = 0.0
+                fair = ser1 * over * rho_total * rho_total
+                base += mm1 if mm1 <= fair else fair
+        return base
+
     def round_trip(
         self,
         request: MessageClass,
@@ -294,6 +481,9 @@ class Link:
         self._win_start = [now, now]
         self._rho = [0.0, 0.0]
         self._rho_by = [{}, {}]
+        # Cached occupy_pair plans embed the replaced stats cells.
+        if self.on_scaled is not None:
+            self.on_scaled()
 
     def rho(self, direction: int) -> float:
         """Most recently settled utilization estimate for a direction."""
@@ -305,6 +495,8 @@ class Link:
             raise InterconnectError("scale factors must be positive")
         self.latency_ns *= latency_factor
         self.bandwidth *= bandwidth_factor
+        if self.on_scaled is not None:
+            self.on_scaled()
 
     def __repr__(self) -> str:
         return (

@@ -54,6 +54,10 @@ class NullRegistry:
     def counter(self, component: str, name: str) -> NullMetric:
         return NULL_METRIC
 
+    def counter_cell(self, component: str, name: str) -> list:
+        """Detached scratch cell; increments land nowhere observable."""
+        return [0.0]
+
     def gauge(
         self, component: str, name: str, fn: Optional[Callable[[], float]] = None
     ) -> NullMetric:
@@ -166,6 +170,10 @@ class Instrumented:
     obs: Observability = OBS_OFF
     #: Registry component label assigned at instrument time.
     obs_name: str = ""
+    #: Single-load hot-path guard: False (class attribute) until a live
+    #: bundle is attached, so uninstrumented instances pay one attribute
+    #: read — no bundle/tracer dereference chain — to skip telemetry.
+    obs_enabled: bool = False
 
     def _obs_component(self) -> str:
         """Default component label; override for stable short names."""
@@ -174,6 +182,7 @@ class Instrumented:
     def instrument(self, obs: Observability, name: Optional[str] = None) -> "Instrumented":
         """Attach an observability bundle and register metrics."""
         self.obs = obs
+        self.obs_enabled = obs.enabled
         self.obs_name = obs.metrics.unique_component(name or self._obs_component())
         self._register_metrics(obs.metrics)
         self._instrument_children(obs)

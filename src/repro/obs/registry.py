@@ -30,30 +30,37 @@ from repro.sim.stats import Counter, Histogram
 
 
 class CounterMetric:
-    """A single monotonically increasing value."""
+    """A single monotonically increasing value.
 
-    __slots__ = ("component", "name", "_value")
+    The value lives in a one-element list :attr:`cell` so hot paths can
+    hoist the metric lookup and increment with ``cell[0] += x`` — one
+    list indexing instead of a bound-method call per event. The cell
+    object survives :meth:`reset` (it is zeroed in place), so cached
+    references never go stale.
+    """
+
+    __slots__ = ("component", "name", "cell")
 
     def __init__(self, component: str, name: str) -> None:
         self.component = component
         self.name = name
-        self._value = 0.0
+        self.cell = [0.0]
 
     def inc(self, amount: float = 1.0) -> None:
         """Increment by ``amount`` (must be non-negative)."""
         if amount < 0:
             raise ValueError(f"counter increments must be >= 0, got {amount}")
-        self._value += amount
+        self.cell[0] += amount
 
     @property
     def value(self) -> float:
-        return self._value
+        return self.cell[0]
 
     def reset(self) -> None:
-        self._value = 0.0
+        self.cell[0] = 0.0
 
     def __repr__(self) -> str:
-        return f"CounterMetric({self.component}.{self.name}={self._value:g})"
+        return f"CounterMetric({self.component}.{self.name}={self.cell[0]:g})"
 
 
 class GaugeMetric:
@@ -162,6 +169,14 @@ class MetricRegistry:
     def counter(self, component: str, name: str) -> CounterMetric:
         """Get-or-create a counter under ``component``."""
         return self._get_or_create(component, name, CounterMetric)
+
+    def counter_cell(self, component: str, name: str) -> list:
+        """Mutable ``[value]`` cell of the counter, for hot-path use.
+
+        The cell stays valid across :meth:`reset` — see
+        :class:`CounterMetric`.
+        """
+        return self.counter(component, name).cell
 
     def gauge(
         self,

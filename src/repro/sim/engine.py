@@ -17,18 +17,51 @@ Yielding ``0`` (or any non-negative float) reschedules the process after
 that much virtual time; other processes scheduled earlier run first.
 Processes end by returning. The engine is deterministic: ties in time are
 broken by spawn order, then scheduling order.
+
+Two execution paths produce bit-identical schedules:
+
+* The default fast path reuses one mutable event record per process step
+  instead of allocating a fresh tuple, dispatches a rescheduled step
+  directly when it is strictly earlier than every queued event (the
+  dominant single-runnable-process case), and transparently switches to a
+  bucketed :class:`~repro.sim.calqueue.CalendarQueue` when the pending
+  event count grows large.
+* Setting ``REPRO_SIM_SLOWPATH=1`` in the environment (or passing
+  ``slowpath=True``) selects the straightforward heap-per-event loop the
+  engine originally shipped with. It exists as an escape hatch and as the
+  reference implementation the determinism tests compare against.
+
+``events_executed`` counts an event as executed the moment it is taken
+off the queue, *before* its handler runs. If a process step raises, the
+failing event is therefore included in the count, ``now`` holds its
+timestamp, and ``stop_when`` is not consulted for it — the exception
+propagates out of :meth:`Simulator.run` with the simulator in that
+consistent state.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from typing import Callable, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
 from repro.obs.instrument import Instrumented
+from repro.sim.calqueue import CalendarQueue
 
 #: Type of the generators the engine runs.
 ProcessBody = Generator[float, None, None]
+
+#: Event-record kind codes. Records are mutable lists
+#: ``[when, seq, kind, payload]``; ``seq`` is unique per simulator so
+#: record comparison never reaches the payload.
+_STEP = 0
+_CALL = 1
+
+
+def slowpath_requested() -> bool:
+    """True when ``REPRO_SIM_SLOWPATH=1`` asks for the reference loop."""
+    return os.environ.get("REPRO_SIM_SLOWPATH", "") == "1"
 
 
 class Delay(float):
@@ -41,11 +74,13 @@ class Process:
     Attributes:
         name: Human-readable label, used in error messages.
         done: True once the generator has returned or was stopped.
+        pid: Per-simulator id (spawn order, starting at 1). Processes
+            constructed directly fall back to a class-level counter.
     """
 
     _ids = 0
 
-    def __init__(self, body: ProcessBody, name: str):
+    def __init__(self, body: ProcessBody, name: str, pid: Optional[int] = None):
         if not hasattr(body, "send"):
             raise SimulationError(
                 f"process {name!r} must be a generator, got {type(body).__name__}"
@@ -53,8 +88,10 @@ class Process:
         self.body = body
         self.name = name
         self.done = False
-        Process._ids += 1
-        self.pid = Process._ids
+        if pid is None:
+            Process._ids += 1
+            pid = Process._ids
+        self.pid = pid
 
     def stop(self) -> None:
         """Prevent any further steps of this process."""
@@ -72,14 +109,31 @@ class Simulator(Instrumented):
     The clock starts at 0.0 ns and only moves forward. All model objects
     that need the current time should hold a reference to the simulator
     and read :attr:`now`.
+
+    Args:
+        slowpath: Force the reference event loop. ``None`` (default)
+            consults the ``REPRO_SIM_SLOWPATH`` environment variable at
+            construction, so fast and reference simulators can coexist
+            in one interpreter.
     """
 
-    def __init__(self) -> None:
+    #: Pending-event count at which the fast path migrates the heap into
+    #: a bucketed calendar queue (O(1)-ish hold/pop under heavy load).
+    CALENDAR_THRESHOLD = 4096
+
+    def __init__(self, slowpath: Optional[bool] = None) -> None:
         self.now: float = 0.0
         self._heap: list = []
+        self._cal: Optional[CalendarQueue] = None
+        self._held: Optional[list] = None
         self._seq = 0
         self._processes: list[Process] = []
+        self._done_count = 0
+        self._pid_counter = 0
         self.events_executed = 0
+        if slowpath is None:
+            slowpath = slowpath_requested()
+        self.slowpath = bool(slowpath)
 
     def _obs_component(self) -> str:
         return "sim"
@@ -101,26 +155,44 @@ class Simulator(Instrumented):
     # ------------------------------------------------------------------
     def spawn(self, body: ProcessBody, name: str = "proc", delay: float = 0.0) -> Process:
         """Register a generator as a process; first step runs after ``delay``."""
-        proc = Process(body, name)
+        self._pid_counter += 1
+        proc = Process(body, name, pid=self._pid_counter)
         self._processes.append(proc)
-        self._schedule(self.now + delay, self._step, proc)
+        self._schedule(self.now + delay, _STEP, proc)
         return proc
 
     def call_at(self, when: float, fn: Callable[[], None]) -> None:
         """Run a plain callback at absolute virtual time ``when``."""
         if when < self.now:
             raise SimulationError(f"cannot schedule in the past: {when} < {self.now}")
-        self._schedule(when, self._call, fn)
+        self._schedule(when, _CALL, fn)
 
     def call_after(self, delay: float, fn: Callable[[], None]) -> None:
         """Run a plain callback ``delay`` ns from now."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        self._schedule(self.now + delay, self._call, fn)
+        self._schedule(self.now + delay, _CALL, fn)
 
-    def _schedule(self, when: float, kind: Callable, payload) -> None:
+    def _schedule(self, when: float, kind: int, payload) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (when, self._seq, kind, payload))
+        rec = [when, self._seq, kind, payload]
+        cal = self._cal
+        if cal is not None:
+            cal.push(rec)
+            return
+        heap = self._heap
+        heapq.heappush(heap, rec)
+        if len(heap) >= self.CALENDAR_THRESHOLD and not self.slowpath:
+            self._cal = CalendarQueue(heap)
+            self._heap = []
+
+    def _requeue(self, rec: list) -> None:
+        """Return a popped-but-unexecuted record to the pending set."""
+        cal = self._cal
+        if cal is not None:
+            cal.push(rec)
+        else:
+            heapq.heappush(self._heap, rec)
 
     # ------------------------------------------------------------------
     # Execution
@@ -140,53 +212,193 @@ class Simulator(Instrumented):
 
         Returns:
             The virtual time at which the run stopped.
+
+        ``events_executed`` is incremented when an event is dequeued,
+        before its handler runs: if the handler raises, the failing
+        event is counted, ``now`` is its timestamp, and ``stop_when``
+        is not called for it.
         """
+        if self.slowpath:
+            return self._run_slow(until, max_events, stop_when)
+        return self._run_fast(until, max_events, stop_when)
+
+    def _run_slow(
+        self,
+        until: Optional[float],
+        max_events: Optional[int],
+        stop_when: Optional[Callable[[], bool]],
+    ) -> float:
+        """Reference loop: one heappop + one handler call per event."""
         executed = 0
-        while self._heap:
-            when, _seq, kind, payload = self._heap[0]
+        heap = self._heap
+        while heap:
+            rec = heap[0]
+            when = rec[0]
             if until is not None and when > until:
                 self.now = until
                 break
-            heapq.heappop(self._heap)
+            heapq.heappop(heap)
             self.now = when
-            kind(payload)
             self.events_executed += 1
             executed += 1
+            if rec[2] == _STEP:
+                self._step(rec[3])
+            else:
+                rec[3]()
             if stop_when is not None and stop_when():
                 break
             if max_events is not None and executed >= max_events:
                 break
         return self.now
 
+    def _run_fast(
+        self,
+        until: Optional[float],
+        max_events: Optional[int],
+        stop_when: Optional[Callable[[], bool]],
+    ) -> float:
+        """Fast loop: record reuse + direct dispatch of the earliest step.
+
+        Produces the exact event order of :meth:`_run_slow`: a record is
+        only held for direct dispatch when it is *strictly* earlier than
+        every queued event, so seq tie-breaking is preserved, and any
+        event a ``stop_when`` callback schedules ahead of the held
+        record demotes it back onto the heap.
+        """
+        executed = 0
+        events = self.events_executed
+        heap = self._heap
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        rec: Optional[list] = None
+        try:
+            while True:
+                if rec is None:
+                    cal = self._cal
+                    if cal is not None:
+                        if not len(cal):
+                            self._cal = None
+                            continue
+                        rec = cal.pop()
+                    elif heap:
+                        rec = heappop(heap)
+                    else:
+                        break
+                when = rec[0]
+                if until is not None and when > until:
+                    self._requeue(rec)
+                    rec = None
+                    self.now = until
+                    break
+                self.now = when
+                events += 1
+                self.events_executed = events
+                executed += 1
+                cur = rec
+                rec = None
+                if cur[2] == _STEP:
+                    proc = cur[3]
+                    if proc.done:
+                        self._note_done()
+                    else:
+                        try:
+                            delay = proc.body.send(None)
+                        except StopIteration:
+                            proc.done = True
+                            self._note_done()
+                        else:
+                            try:
+                                invalid = delay is None or delay < 0
+                            except TypeError:
+                                invalid = True
+                            if invalid:
+                                proc.done = True
+                                self._note_done()
+                                raise SimulationError(
+                                    f"process {proc.name!r} yielded invalid "
+                                    f"delay {delay!r}"
+                                )
+                            nxt = when + delay
+                            self._seq += 1
+                            cur[0] = nxt
+                            cur[1] = self._seq
+                            cal = self._cal
+                            if cal is not None:
+                                cal.push(cur)
+                            elif heap and nxt >= heap[0][0]:
+                                heappush(heap, cur)
+                            else:
+                                rec = cur
+                else:
+                    cur[3]()
+                if stop_when is not None:
+                    self._held = rec
+                    stopped = stop_when()
+                    self._held = None
+                    if stopped:
+                        break
+                    if rec is not None and heap and heap[0] < rec:
+                        heappush(heap, rec)
+                        rec = None
+                if max_events is not None and executed >= max_events:
+                    break
+            return self.now
+        finally:
+            self._held = None
+            if rec is not None:
+                self._requeue(rec)
+
     def _call(self, fn: Callable[[], None]) -> None:
         fn()
 
     def _step(self, proc: Process) -> None:
         if proc.done:
+            self._note_done()
             return
         try:
             delay = next(proc.body)
         except StopIteration:
             proc.done = True
+            self._note_done()
             return
-        if delay is None or float(delay) < 0:
+        try:
+            invalid = delay is None or delay < 0
+        except TypeError:
+            invalid = True
+        if invalid:
             proc.done = True
+            self._note_done()
             raise SimulationError(
                 f"process {proc.name!r} yielded invalid delay {delay!r}"
             )
-        self._schedule(self.now + float(delay), self._step, proc)
+        self._schedule(self.now + delay, _STEP, proc)
+
+    def _note_done(self) -> None:
+        """Account one finished process; compact the table when mostly dead."""
+        self._done_count += 1
+        if self._done_count >= 64 and self._done_count * 2 >= len(self._processes):
+            self._processes = [p for p in self._processes if not p.done]
+            self._done_count = 0
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
-        """Number of events currently queued."""
-        return len(self._heap)
+        """Number of events currently queued (including any held record)."""
+        n = len(self._heap)
+        if self._cal is not None:
+            n += len(self._cal)
+        if self._held is not None:
+            n += 1
+        return n
 
     def alive_processes(self) -> Iterable[Process]:
-        """Processes that have not finished."""
-        return [p for p in self._processes if not p.done]
+        """Processes that have not finished (compacts the table)."""
+        alive = [p for p in self._processes if not p.done]
+        self._processes = list(alive)
+        self._done_count = 0
+        return alive
 
     def __repr__(self) -> str:
         return f"<Simulator now={self.now:.1f}ns pending={self.pending}>"

@@ -12,42 +12,68 @@ from typing import Dict, Iterable, List, Optional
 
 
 class Counter:
-    """A named bag of monotonically increasing counters."""
+    """A named bag of monotonically increasing counters.
+
+    Values are stored in single-element list *cells* so hot paths can
+    resolve a name once via :meth:`cell` and then increment with
+    ``cell[0] += x`` — no per-event dict lookup or string formatting.
+    :meth:`reset` detaches every cell; callers caching cells must
+    re-resolve when :attr:`epoch` changes.
+    """
 
     def __init__(self) -> None:
-        self._values: Dict[str, float] = {}
+        self._cells: Dict[str, list] = {}
+        #: Bumped by :meth:`reset`; cached cells from older epochs are stale.
+        self.epoch = 0
 
     def add(self, name: str, amount: float = 1.0) -> None:
         """Increment ``name`` by ``amount`` (must be non-negative)."""
         if amount < 0:
             raise ValueError(f"counter increments must be >= 0, got {amount}")
-        self._values[name] = self._values.get(name, 0.0) + amount
+        cell = self._cells.get(name)
+        if cell is None:
+            self._cells[name] = [0.0 + amount]
+        else:
+            cell[0] += amount
+
+    def cell(self, name: str) -> list:
+        """Mutable ``[value]`` cell for ``name``, created at 0.0.
+
+        The cell is live until the next :meth:`reset`; cache it together
+        with :attr:`epoch` and re-resolve when the epoch moves on.
+        """
+        cell = self._cells.get(name)
+        if cell is None:
+            cell = self._cells[name] = [0.0]
+        return cell
 
     def get(self, name: str) -> float:
         """Current value of ``name`` (0 if never incremented)."""
-        return self._values.get(name, 0.0)
+        cell = self._cells.get(name)
+        return cell[0] if cell is not None else 0.0
 
     def names(self) -> List[str]:
         """Sorted list of counters that have been touched."""
-        return sorted(self._values)
+        return sorted(self._cells)
 
     def snapshot(self) -> Dict[str, float]:
         """Copy of all counters."""
-        return dict(self._values)
+        return {name: cell[0] for name, cell in self._cells.items()}
 
     def reset(self) -> None:
-        """Zero every counter."""
-        self._values.clear()
+        """Forget every counter and invalidate outstanding cells."""
+        self._cells.clear()
+        self.epoch += 1
 
     def diff(self, earlier: Dict[str, float]) -> Dict[str, float]:
         """Per-counter delta versus an earlier :meth:`snapshot`."""
         out = {}
-        for name, value in self._values.items():
-            out[name] = value - earlier.get(name, 0.0)
+        for name, cell in self._cells.items():
+            out[name] = cell[0] - earlier.get(name, 0.0)
         return out
 
     def __repr__(self) -> str:
-        inner = ", ".join(f"{k}={v:g}" for k, v in sorted(self._values.items()))
+        inner = ", ".join(f"{k}={v[0]:g}" for k, v in sorted(self._cells.items()))
         return f"Counter({inner})"
 
 

@@ -1,0 +1,74 @@
+"""Fast path vs. REPRO_SIM_SLOWPATH=1: bit-identical metric snapshots.
+
+The perf harness's scenarios double as the determinism regression
+suite: every engine/fabric/link/telemetry fast path must reproduce the
+reference implementation's metrics exactly — same packet counts, same
+latency percentiles, same coherence-transaction counters, same
+per-direction link statistics, same event count and final simulated
+time. A single diverging float fails the fingerprint comparison.
+"""
+
+import heapq
+
+import pytest
+
+from repro.analysis import perf
+from repro.sim import Simulator
+from repro.sim.rng import make_rng
+
+
+@pytest.mark.parametrize("scenario", ["loopback_64b", "kv_zipf", "faults_canned"])
+def test_fast_and_slow_paths_fingerprint_identically(scenario):
+    fast = perf.run_scenario(scenario, quick=True)
+    slow = perf.run_scenario(scenario, quick=True, slowpath=True)
+    assert fast.events == slow.events
+    assert fast.sim_ns == slow.sim_ns
+    assert fast.fingerprint == slow.fingerprint
+
+
+def test_scenario_fingerprint_stable_across_repeats():
+    one = perf.run_scenario("loopback_64b", quick=True)
+    two = perf.run_scenario("loopback_64b", quick=True)
+    assert one.fingerprint == two.fingerprint
+    assert one.events == two.events
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(ValueError):
+        perf.run_scenario("nope")
+
+
+def _firing_order(slowpath, n_events):
+    """Event order of a randomized callback storm (seeded)."""
+    sim = Simulator(slowpath=slowpath)
+    rng = make_rng(11, "calqueue-storm")
+    order = []
+    for i in range(n_events):
+        when = rng.random() * 1e6
+        sim.call_at(when, lambda i=i: order.append((sim.now, i)))
+    sim.run()
+    return order
+
+
+def test_calendar_queue_matches_heap_order():
+    """Past CALENDAR_THRESHOLD pending events the fast path migrates to
+    the calendar queue; the pop order must still match the reference
+    heap exactly, including seq tie-breaks."""
+    n = Simulator.CALENDAR_THRESHOLD + 512
+    fast = _firing_order(slowpath=False, n_events=n)
+    slow = _firing_order(slowpath=True, n_events=n)
+    assert fast == slow
+
+
+def test_calendar_queue_pop_is_sorted():
+    from repro.sim.calqueue import CalendarQueue
+
+    rng = make_rng(5, "calqueue-unit")
+    recs = [[rng.random() * 1e4, i, 0, None] for i in range(3000)]
+    heap = list(recs)
+    heapq.heapify(heap)
+    cal = CalendarQueue(heap)
+    popped = []
+    while len(cal):
+        popped.append(cal.pop())
+    assert popped == sorted(recs, key=lambda r: (r[0], r[1]))

@@ -169,3 +169,101 @@ def test_alive_processes():
     sim.run(until=10.0)
     alive = [p.name for p in sim.alive_processes()]
     assert alive == ["long"]
+
+
+def test_pids_are_per_simulator():
+    def proc():
+        yield 1.0
+
+    a = Simulator()
+    b = Simulator()
+    assert [a.spawn(proc(), "x").pid for _ in range(3)] == [1, 2, 3]
+    # A second simulator restarts at 1: pids are reproducible per run,
+    # not per interpreter.
+    assert b.spawn(proc(), "y").pid == 1
+
+
+def test_done_processes_are_pruned():
+    sim = Simulator()
+
+    def short():
+        yield 1.0
+
+    for _ in range(500):
+        sim.spawn(short(), "s")
+    sim.run()
+    # The process table compacts as processes finish instead of
+    # retaining every process ever spawned.
+    assert len(sim._processes) < 500
+    assert list(sim.alive_processes()) == []
+    assert sim._processes == []
+
+
+@pytest.mark.parametrize("slowpath", [False, True])
+def test_failed_step_counts_event_and_skips_stop_when(slowpath):
+    """The documented contract: a failing event is included in
+    events_executed, now holds its timestamp, and stop_when is not
+    consulted for it."""
+    sim = Simulator(slowpath=slowpath)
+    stop_calls = []
+
+    def ok():
+        yield 1.0
+        yield 1.0
+
+    def bad():
+        yield 5.0
+        raise RuntimeError("boom")
+
+    sim.spawn(ok(), "ok")
+    sim.spawn(bad(), "bad")
+
+    def stop_when():
+        stop_calls.append(sim.now)
+        return False
+
+    with pytest.raises(RuntimeError):
+        sim.run(stop_when=stop_when)
+    # Events: ok@0, bad@0, ok@1, ok@2, bad@5 (raises).
+    assert sim.events_executed == 5
+    assert sim.now == 5.0
+    # stop_when saw every completed event but not the failing one.
+    assert stop_calls == [0.0, 0.0, 1.0, 2.0]
+
+
+@pytest.mark.parametrize("slowpath", [False, True])
+def test_events_executed_equal_across_paths(slowpath):
+    sim = Simulator(slowpath=slowpath)
+
+    def proc():
+        for _ in range(10):
+            yield 2.0
+
+    sim.spawn(proc(), "p")
+    sim.spawn(proc(), "q")
+    sim.run()
+    assert sim.events_executed == 22  # 2 procs x (10 steps + final return)
+    assert sim.now == 20.0
+
+
+def test_calendar_queue_engaged_past_threshold():
+    # Force the fast path so the test holds under REPRO_SIM_SLOWPATH=1.
+    sim = Simulator(slowpath=False)
+    fired = []
+    n = Simulator.CALENDAR_THRESHOLD + 100
+    for i in range(n):
+        sim.call_at(float(i), lambda i=i: fired.append(i))
+    assert sim._cal is not None  # heap migrated to the calendar queue
+    assert sim.pending == n
+    sim.run()
+    assert fired == list(range(n))
+    assert sim.events_executed == n
+
+
+def test_slowpath_never_engages_calendar_queue():
+    sim = Simulator(slowpath=True)
+    for i in range(Simulator.CALENDAR_THRESHOLD + 100):
+        sim.call_at(float(i), lambda: None)
+    assert sim._cal is None
+    sim.run()
+    assert sim._cal is None
