@@ -7,6 +7,12 @@ from repro.analysis.loopback import (
     run_point,
     saturation,
 )
+from repro.analysis.profile import (
+    ProfileRun,
+    attach_recorder,
+    detach_recorder,
+    run_profile,
+)
 from repro.analysis.scaling import CurvePoint, ScalingModel, throughput_latency_curve
 from repro.analysis.tables import format_table
 
@@ -14,10 +20,14 @@ __all__ = [
     "CurvePoint",
     "InterfaceKind",
     "LoopbackSetup",
+    "ProfileRun",
     "ScalingModel",
+    "attach_recorder",
     "build_interface",
+    "detach_recorder",
     "format_table",
     "run_point",
+    "run_profile",
     "saturation",
     "throughput_latency_curve",
 ]

@@ -121,6 +121,7 @@ def run_point(
     obs: Optional[Observability] = None,
     recovery=None,
     max_sim_ns: float = 1e9,
+    flight=None,
 ) -> LoopbackResult:
     """Run one loopback measurement on a built setup."""
     return run_loopback(
@@ -135,6 +136,7 @@ def run_point(
         obs=obs,
         recovery=recovery,
         max_sim_ns=max_sim_ns,
+        flight=flight,
     )
 
 

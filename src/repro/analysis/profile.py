@@ -1,0 +1,237 @@
+"""Flight-recorder profiling runs and report rendering.
+
+``run_profile`` builds one comparison point, attaches a
+:class:`~repro.obs.flight.FlightRecorder` to every layer that records
+(coherence fabric, cache agents, host driver, NIC queue agents,
+application), runs a closed-loop loopback measurement, and returns the
+setup, the loopback result, and the recorder. The ``format_*`` helpers
+render the recorder's report as the text tables behind
+``python -m repro profile``.
+
+Attaching the recorder drops the fabric onto its reference path (see
+:meth:`~repro.coherence.fabric.CoherenceFabric.attach_flight`), so a
+profiled run is slower in wall-clock but bit-identical in simulated
+metrics to an unprofiled one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.loopback import (
+    InterfaceKind,
+    LoopbackSetup,
+    build_interface,
+    run_point,
+)
+from repro.analysis.tables import format_table
+from repro.obs.flight import FlightRecorder
+from repro.platform.presets import PlatformSpec
+from repro.workloads.trafficgen import LoopbackResult
+
+
+@dataclass
+class ProfileRun:
+    """Everything ``python -m repro profile`` needs from one run."""
+
+    setup: LoopbackSetup
+    result: LoopbackResult
+    recorder: FlightRecorder
+    report: Dict
+
+
+def attach_recorder(setup: LoopbackSetup, recorder: FlightRecorder) -> None:
+    """Attach ``recorder`` to every recording layer of a built setup.
+
+    The fabric attach forces the reference path; drivers, cache agents
+    and NIC queue agents take plain attribute attach (mirroring how the
+    fault injector spreads). Interfaces without per-pair queue agents
+    (the PCIe NICs) still get full line-event coverage — only the
+    packet waterfall is CC-NIC-driver specific.
+    """
+    setup.system.fabric.attach_flight(recorder)
+    for agent in setup.system.fabric.agents:
+        agent.flight = recorder
+    setup.driver.flight = recorder
+    pairs = getattr(setup.interface, "_pairs", None)
+    if pairs:
+        for pair in pairs.values():
+            if pair.agent is not None:
+                pair.agent.flight = recorder
+
+
+def detach_recorder(setup: LoopbackSetup) -> None:
+    """Detach any recorder and restore the fabric's configured path."""
+    setup.system.fabric.detach_flight()
+    for agent in setup.system.fabric.agents:
+        agent.flight = None
+    setup.driver.flight = None
+    pairs = getattr(setup.interface, "_pairs", None)
+    if pairs:
+        for pair in pairs.values():
+            if pair.agent is not None:
+                pair.agent.flight = None
+
+
+def run_profile(
+    spec: PlatformSpec,
+    kind: InterfaceKind,
+    pkt_size: int = 64,
+    n_packets: int = 3000,
+    inflight: int = 64,
+    tx_batch: int = 32,
+    rx_batch: int = 32,
+    sample_every: int = 1,
+    line_capacity: int = 65536,
+    max_packets: int = 4096,
+    keep_waterfalls: int = 32,
+    top: int = 10,
+    obs=None,
+    **build_kwargs,
+) -> ProfileRun:
+    """One instrumented loopback run with a full flight report."""
+    setup = build_interface(spec, kind, obs=obs, **build_kwargs)
+    recorder = FlightRecorder(
+        line_capacity=line_capacity,
+        sample_every=sample_every,
+        max_packets=max_packets,
+        keep_waterfalls=keep_waterfalls,
+    )
+    attach_recorder(setup, recorder)
+    result = run_point(
+        setup,
+        pkt_size,
+        n_packets,
+        inflight=inflight,
+        tx_batch=tx_batch,
+        rx_batch=rx_batch,
+        obs=obs,
+        flight=recorder,
+    )
+    report = recorder.report(
+        top=top,
+        config={
+            "platform": spec.name,
+            "interface": kind.value,
+            "pkt_size": pkt_size,
+            "n_packets": n_packets,
+            "inflight": inflight,
+            "sample_every": sample_every,
+        },
+    )
+    return ProfileRun(setup=setup, result=result, recorder=recorder, report=report)
+
+
+# ----------------------------------------------------------------------
+# Text rendering
+# ----------------------------------------------------------------------
+def format_waterfall_table(report: Dict) -> str:
+    """Per-stage latency breakdown (p50/p99) over sampled packets."""
+    stages = report["waterfall"]["stages"]
+    rows = [
+        (
+            name,
+            int(summary["count"]),
+            f"{summary['p50']:.1f}",
+            f"{summary['mean']:.1f}",
+            f"{summary['p99']:.1f}",
+            f"{summary['max']:.1f}",
+        )
+        for name, summary in stages.items()
+    ]
+    title = (
+        f"Packet critical path ({report['waterfall']['completed']} sampled, "
+        f"{report['waterfall']['incomplete']} in flight at stop)"
+    )
+    return format_table(
+        ["stage", "n", "p50 ns", "mean ns", "p99 ns", "max ns"], rows, title=title
+    )
+
+
+def format_thrash_table(report: Dict) -> str:
+    """Top thrashing cache lines (most cross-socket transfers first)."""
+    rows = [
+        (
+            f"{entry['line']:#x}",
+            entry["region"],
+            entry["class"],
+            f"S{entry['home']}",
+            entry["xfers"],
+            entry["pingpongs"],
+            entry["spec_reads"],
+            entry["drops"],
+            f"{entry['latency_ns']:.0f}",
+        )
+        for entry in report["thrash"]
+    ]
+    return format_table(
+        [
+            "line", "region", "class", "home", "xfers", "pingpong",
+            "spec_rd", "drops", "latency ns",
+        ],
+        rows,
+        title="Top thrashing lines",
+    )
+
+
+def format_class_table(report: Dict) -> str:
+    """Cross-socket traffic per region class (all classes enumerated)."""
+    rows = [
+        (
+            cls,
+            row["lines"],
+            row["reads"],
+            row["writes"],
+            row["xfers"],
+            row["pingpongs"],
+            row["spec_reads"],
+            f"{row['latency_ns']:.0f}",
+        )
+        for cls, row in report["classes"].items()
+    ]
+    return format_table(
+        [
+            "class", "lines", "reads", "writes", "xfers", "pingpong",
+            "spec_rd", "latency ns",
+        ],
+        rows,
+        title="Region-class thrash summary",
+    )
+
+
+def format_homing_audit(report: Dict) -> str:
+    """Regions whose homing triggered reader-side speculative reads."""
+    rows = [
+        (
+            entry["region"],
+            entry["class"],
+            f"S{entry['home']}",
+            entry["cross_fetches"],
+            entry["reader_homed_specs"],
+            "FLAG" if entry["flagged"] else "ok",
+        )
+        for entry in report["homing_audit"]
+    ]
+    if not rows:
+        rows = [("(no cross-socket cache fetches recorded)", "", "", "", "", "")]
+    return format_table(
+        ["region", "class", "home", "cross_fetch", "reader_spec", "verdict"],
+        rows,
+        title="Homing audit (reader-homed speculative reads)",
+    )
+
+
+def format_sample_waterfall(report: Dict) -> str:
+    """One fully traced packet, stage by stage."""
+    samples = report["waterfall"]["samples"]
+    if not samples:
+        return "No complete packet samples recorded."
+    sample = samples[0]
+    rows = [(name, f"{duration:.1f}") for name, duration in sample["stages"]]
+    rows.append(("total", f"{sample['total_ns']:.1f}"))
+    return format_table(
+        ["stage", "ns"],
+        rows,
+        title=f"Sample waterfall: packet {sample['pkt_id']}",
+    )

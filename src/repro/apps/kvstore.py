@@ -297,6 +297,7 @@ def kv_thread_study(
     nic_cap_mops: Optional[float] = None,
     obs=None,
     faults=None,
+    flight=None,
 ) -> KvStudy:
     """Measure one server thread in detail and compose the curve.
 
@@ -304,11 +305,18 @@ def kv_thread_study(
     the average packets per operation — both deployments forward through
     the same CX6, so the peak is shared (§5.7). ``faults`` is an
     optional :class:`repro.faults.FaultInjector` attached to the built
-    system.
+    system; ``flight`` an optional
+    :class:`repro.obs.flight.FlightRecorder` attached to every
+    recording layer (line events + packet waterfalls where the CC-NIC
+    driver is in play).
     """
     setup = build_interface(
         spec, kind if kind.is_coherent else InterfaceKind.CX6, obs=obs, faults=faults
     )
+    if flight is not None:
+        from repro.analysis.profile import attach_recorder
+
+        attach_recorder(setup, flight)
     app = KvServerApp(setup, workload, offered_mops=probe_mops, n_ops=n_ops)
     app.run()
     # Scale on the application thread's own service rate: under CC-NIC

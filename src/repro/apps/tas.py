@@ -236,15 +236,22 @@ def rpc_thread_study(
     nic_cap_mops: Optional[float] = None,
     obs=None,
     faults=None,
+    flight=None,
 ) -> RpcStudy:
     """Measure one fast-path thread; compose the thread-count answer.
 
     ``faults`` is an optional :class:`repro.faults.FaultInjector`
-    attached to the built system.
+    attached to the built system; ``flight`` an optional
+    :class:`repro.obs.flight.FlightRecorder` attached to every
+    recording layer.
     """
     setup = build_interface(
         spec, kind if kind.is_coherent else InterfaceKind.CX6, obs=obs, faults=faults
     )
+    if flight is not None:
+        from repro.analysis.profile import attach_recorder
+
+        attach_recorder(setup, flight)
     fastpath = TasFastPath(setup, n_flows=n_flows, offered_mops=probe_mops, n_ops=n_ops)
     fastpath.run()
     if nic_cap_mops is None:

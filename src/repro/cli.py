@@ -12,6 +12,10 @@ Commands mirror the measurement tooling used throughout the evaluation:
     counts (Fig 17 style).
 ``kv`` / ``rpc``
     Run the application studies and print thread-count results.
+``profile``
+    Run an instrumented loopback with the cache-line flight recorder
+    attached and print the per-packet critical-path waterfall plus the
+    region-classified thrash tables.
 ``table1``
     Print the interconnect bandwidth comparison.
 ``faults``
@@ -32,10 +36,12 @@ from repro.analysis.loopback import build_interface, run_point, wire_bytes_per_p
 from repro.core.recovery import RecoveryPolicy
 from repro.faults import FAULT_KINDS, FaultInjector, FaultPlan
 from repro.obs import (
+    FlightRecorder,
     MetricRegistry,
     Observability,
     SpanTracer,
     export_chrome_trace,
+    export_flight_json,
     export_metrics_csv,
     export_metrics_json,
 )
@@ -81,6 +87,15 @@ def _add_obs_args(sub: argparse.ArgumentParser) -> None:
     )
 
 
+def _check_writable(path: Optional[str]) -> None:
+    """Fail fast on an unwritable destination rather than after the run."""
+    if path is None:
+        return
+    parent = os.path.dirname(path) or "."
+    if not os.path.isdir(parent):
+        raise SystemExit(f"error: cannot write {path!r}: no such directory {parent!r}")
+
+
 def _make_obs(
     args: argparse.Namespace, force_metrics: bool = False
 ) -> Optional[Observability]:
@@ -89,20 +104,17 @@ def _make_obs(
     want_trace = args.trace_out is not None
     if not (want_metrics or want_trace):
         return None
-    # Fail fast on an unwritable destination rather than after the run.
-    for path in (args.metrics_out, args.trace_out):
-        if path is None:
-            continue
-        parent = os.path.dirname(path) or "."
-        if not os.path.isdir(parent):
-            raise SystemExit(f"error: cannot write {path!r}: no such directory {parent!r}")
+    _check_writable(args.metrics_out)
+    _check_writable(args.trace_out)
     return Observability(
         metrics=MetricRegistry() if want_metrics else None,
         tracer=SpanTracer() if want_trace else None,
     )
 
 
-def _export_obs(obs: Optional[Observability], args: argparse.Namespace) -> None:
+def _export_obs(
+    obs: Optional[Observability], args: argparse.Namespace, flight=None
+) -> None:
     if obs is None:
         return
     if args.metrics_out:
@@ -113,8 +125,34 @@ def _export_obs(obs: Optional[Observability], args: argparse.Namespace) -> None:
             count = sum(len(section) for section in doc["metrics"].values())
         print(f"wrote {count} metrics to {args.metrics_out}")
     if args.trace_out:
-        events = export_chrome_trace(obs.tracer, args.trace_out)
+        events = export_chrome_trace(obs.tracer, args.trace_out, flight=flight)
         print(f"wrote {events} trace events to {args.trace_out}")
+
+
+# ----------------------------------------------------------------------
+# Flight-recorder plumbing (shared by profile / loopback / kv / rpc)
+# ----------------------------------------------------------------------
+def _add_flight_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--flight-out", default=None, metavar="FILE",
+        help="write the cache-line flight-recorder report (JSON)",
+    )
+
+
+def _make_flight(args: argparse.Namespace) -> Optional[FlightRecorder]:
+    """Build a flight recorder when ``--flight-out`` asks for one."""
+    if getattr(args, "flight_out", None) is None:
+        return None
+    _check_writable(args.flight_out)
+    return FlightRecorder()
+
+
+def _export_flight(flight, args: argparse.Namespace, config: dict) -> None:
+    if flight is None or not getattr(args, "flight_out", None):
+        return
+    report = flight.report(config=config)
+    export_flight_json(report, args.flight_out)
+    print(f"wrote flight report to {args.flight_out}")
 
 
 # ----------------------------------------------------------------------
@@ -185,6 +223,7 @@ def cmd_loopback(args: argparse.Namespace) -> int:
     kind = _kind(args.interface)
     obs = _make_obs(args)
     faults, recovery = _make_faults(args)
+    flight = _make_flight(args)
     setup = build_interface(
         spec,
         kind,
@@ -194,6 +233,10 @@ def cmd_loopback(args: argparse.Namespace) -> int:
         obs=obs,
         faults=faults,
     )
+    if flight is not None:
+        from repro.analysis.profile import attach_recorder
+
+        attach_recorder(setup, flight)
     with _maybe_trace_fabric(obs, setup.system.fabric):
         result = run_point(
             setup,
@@ -205,6 +248,7 @@ def cmd_loopback(args: argparse.Namespace) -> int:
             rx_batch=args.batch,
             obs=obs,
             recovery=recovery,
+            flight=flight,
         )
     d0, d1 = wire_bytes_per_packet(setup, result)
     rows = [
@@ -224,7 +268,11 @@ def cmd_loopback(args: argparse.Namespace) -> int:
         rows,
         title=f"{kind.value} loopback, {args.size}B packets on {spec.name}",
     ))
-    _export_obs(obs, args)
+    _export_obs(obs, args, flight=flight)
+    _export_flight(flight, args, config={
+        "command": "loopback", "platform": spec.name, "interface": kind.value,
+        "pkt_size": args.size, "n_packets": args.packets,
+    })
     return 0
 
 
@@ -343,13 +391,17 @@ def cmd_kv(args: argparse.Namespace) -> int:
     spec = _platform(args.platform)
     workload = KvWorkload.ads() if args.distribution == "ads" else KvWorkload.geo()
     obs = _make_obs(args)
+    flight = _make_flight(args)
     rows = []
     for kind in (InterfaceKind.CX6, InterfaceKind.CCNIC):
         # Fresh injector per comparison point: one-shot NIC events and
         # the RNG stream must not be shared between the two systems.
         faults, _recovery = _make_faults(args)
+        # The flight recorder profiles the coherent point only: mixing
+        # line addresses from two systems would corrupt the thrash table.
         study = kv_thread_study(
-            spec, kind, workload, n_ops=args.ops, obs=obs, faults=faults
+            spec, kind, workload, n_ops=args.ops, obs=obs, faults=faults,
+            flight=flight if kind.is_coherent else None,
         )
         rows.append((kind.value, study.per_thread_mops, study.peak_mops,
                      study.threads_to_saturate(spec)))
@@ -358,7 +410,11 @@ def cmd_kv(args: argparse.Namespace) -> int:
         rows,
         title=f"KV store ({args.distribution}) on {spec.name}",
     ))
-    _export_obs(obs, args)
+    _export_obs(obs, args, flight=flight)
+    _export_flight(flight, args, config={
+        "command": "kv", "platform": spec.name, "interface": "ccnic",
+        "distribution": args.distribution, "n_ops": args.ops,
+    })
     return 0
 
 
@@ -367,11 +423,15 @@ def cmd_rpc(args: argparse.Namespace) -> int:
 
     spec = _platform(args.platform)
     obs = _make_obs(args)
+    flight = _make_flight(args)
     rows = []
     for kind in (InterfaceKind.CX6, InterfaceKind.CCNIC):
         # Fresh injector per comparison point (see cmd_kv).
         faults, _recovery = _make_faults(args)
-        study = rpc_thread_study(spec, kind, n_ops=args.ops, obs=obs, faults=faults)
+        study = rpc_thread_study(
+            spec, kind, n_ops=args.ops, obs=obs, faults=faults,
+            flight=flight if kind.is_coherent else None,
+        )
         rows.append((kind.value, study.per_thread_mops, study.peak_mops,
                      study.threads_to_saturate()))
     print(format_table(
@@ -379,7 +439,59 @@ def cmd_rpc(args: argparse.Namespace) -> int:
         rows,
         title=f"TCP echo RPC (TAS-like) on {spec.name}",
     ))
-    _export_obs(obs, args)
+    _export_obs(obs, args, flight=flight)
+    _export_flight(flight, args, config={
+        "command": "rpc", "platform": spec.name, "interface": "ccnic",
+        "n_ops": args.ops,
+    })
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.analysis.profile import (
+        format_class_table,
+        format_homing_audit,
+        format_sample_waterfall,
+        format_thrash_table,
+        format_waterfall_table,
+        run_profile,
+    )
+
+    spec = _platform(args.platform)
+    kind = _kind(args.interface)
+    _check_writable(args.flight_out)
+    obs = _make_obs(args)
+    run = run_profile(
+        spec,
+        kind,
+        pkt_size=args.size,
+        n_packets=args.packets,
+        inflight=args.inflight,
+        tx_batch=args.batch,
+        rx_batch=args.batch,
+        sample_every=args.sample_every,
+        top=args.top,
+        obs=obs,
+    )
+    report = run.report
+    print(
+        f"{kind.value} profile on {spec.name}: {run.result.received} packets, "
+        f"{run.result.mpps:.2f} Mpps, median latency "
+        f"{run.result.latency.median:.0f} ns\n"
+    )
+    print(format_waterfall_table(report))
+    print()
+    print(format_class_table(report))
+    print()
+    print(format_thrash_table(report))
+    print()
+    print(format_homing_audit(report))
+    print()
+    print(format_sample_waterfall(report))
+    if args.flight_out:
+        export_flight_json(report, args.flight_out)
+        print(f"wrote flight report to {args.flight_out}")
+    _export_obs(obs, args, flight=run.recorder)
     return 0
 
 
@@ -491,7 +603,23 @@ def build_parser() -> argparse.ArgumentParser:
     lb.add_argument("--bandwidth-factor", type=float, default=1.0)
     _add_obs_args(lb)
     _add_fault_args(lb)
+    _add_flight_args(lb)
     lb.set_defaults(func=cmd_loopback)
+
+    pr = sub.add_parser("profile", help="flight-recorder critical-path profile")
+    pr.add_argument("--platform", default="icx", choices=["icx", "spr"])
+    pr.add_argument("--interface", default="ccnic")
+    pr.add_argument("--size", type=int, default=64)
+    pr.add_argument("--packets", type=int, default=3000)
+    pr.add_argument("--inflight", type=int, default=64)
+    pr.add_argument("--batch", type=int, default=32)
+    pr.add_argument("--sample-every", type=int, default=1, metavar="N",
+                    help="trace every Nth packet's critical path")
+    pr.add_argument("--top", type=int, default=10, metavar="N",
+                    help="rows in the thrashing-lines table")
+    _add_obs_args(pr)
+    _add_flight_args(pr)
+    pr.set_defaults(func=cmd_profile)
 
     fl = sub.add_parser("faults", help="fault-injection loopback study")
     fl.add_argument("--platform", default="icx", choices=["icx", "spr"])
@@ -525,6 +653,7 @@ def build_parser() -> argparse.ArgumentParser:
     kv.add_argument("--ops", type=int, default=2000)
     _add_obs_args(kv)
     _add_fault_args(kv)
+    _add_flight_args(kv)
     kv.set_defaults(func=cmd_kv)
 
     rpc = sub.add_parser("rpc", help="TCP RPC thread study")
@@ -532,6 +661,7 @@ def build_parser() -> argparse.ArgumentParser:
     rpc.add_argument("--ops", type=int, default=2000)
     _add_obs_args(rpc)
     _add_fault_args(rpc)
+    _add_flight_args(rpc)
     rpc.set_defaults(func=cmd_rpc)
 
     pf = sub.add_parser("perf", help="simulator self-benchmark (events/sec)")

@@ -29,6 +29,13 @@ class CacheAgent:
         prefetch: Whether the hardware prefetcher is enabled.
     """
 
+    #: Optional :class:`repro.obs.flight.FlightRecorder`; class-level
+    #: None keeps detached :meth:`drop` to a single attribute test.
+    #: Capacity evictions are bookkept inline by the fabric and are not
+    #: reported here — the recorder sees protocol-driven losses
+    #: (invalidations and HitM ownership migrations).
+    flight = None
+
     def __init__(
         self,
         name: str,
@@ -71,7 +78,10 @@ class CacheAgent:
 
     def drop(self, line: int) -> Optional[LineState]:
         """Remove ``line``; returns its former state (None if absent)."""
-        return self._lines.pop(line, None)
+        state = self._lines.pop(line, None)
+        if self.flight is not None and state is not None:
+            self.flight.line_drop(line, self.socket, state is LineState.MODIFIED)
+        return state
 
     def evict_victim(self) -> Optional[Tuple[int, LineState]]:
         """Pop the LRU line if over capacity; None when within capacity."""

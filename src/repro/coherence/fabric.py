@@ -41,9 +41,11 @@ so steady-state transitions skip all cost recomputation, message-size
 resolution and counter-name formatting. Plans are invalidated when the
 cost model is swapped, the link is rescaled, or the counter bag is
 reset; attaching fabric-level faults bypasses the fast path entirely so
-fault draws keep their reference order. Results are bit-identical to
-the reference path (the determinism suite compares full metric
-snapshots across both).
+fault draws keep their reference order, and attaching a flight recorder
+(:meth:`CoherenceFabric.attach_flight`) does the same so its recording
+hooks live only in the reference implementations. Results are
+bit-identical to the reference path (the determinism suite compares
+full metric snapshots across both).
 """
 
 from __future__ import annotations
@@ -105,6 +107,11 @@ class CoherenceFabric(Instrumented):
     #: Optional :class:`repro.faults.FaultInjector`. Class-level None so
     #: fault-free runs skip the snoop hooks entirely.
     faults = None
+
+    #: Optional :class:`repro.obs.flight.FlightRecorder`. Class-level
+    #: None so detached runs carry no recorder branch on the fast path;
+    #: attach via :meth:`attach_flight`, which forces the reference path.
+    flight = None
 
     def __init__(
         self,
@@ -202,6 +209,25 @@ class CoherenceFabric(Instrumented):
     def invalidate_plans(self) -> None:
         """Drop memoized transition plans (link/cost configuration changed)."""
         self._plans.clear()
+
+    def attach_flight(self, recorder) -> None:
+        """Attach a flight recorder; all accesses take the reference path.
+
+        Mirrors fault-injector attach: the memoized transition plans are
+        epoch-invalidated and the fast path is disabled, so recording
+        hooks live only in the reference implementations and recorded
+        runs stay bit-identical (the reference path IS the fast path's
+        ground truth) to unrecorded ones.
+        """
+        self.flight = recorder
+        self._fastpath = False
+        self.invalidate_plans()
+
+    def detach_flight(self) -> None:
+        """Detach any recorder and restore the configured path choice."""
+        self.flight = None
+        self._fastpath = not self.sim.slowpath
+        self.invalidate_plans()
 
     def _plans_live(self) -> Dict[int, tuple]:
         """Plan table, dropped first if the counter bag was reset."""
@@ -666,24 +692,48 @@ class CoherenceFabric(Instrumented):
     ) -> float:
         state = agent.lookup(line)
         if state is not None:
-            return self._hit(agent, line, state, write)
+            return self._hit(agent, line, state, write, region)
         agent.misses += 1
         return self._miss(agent, line, write, region)
 
     def _hit(
-        self, agent: CacheAgent, line: int, state: LineState, write: bool
+        self, agent: CacheAgent, line: int, state: LineState, write: bool,
+        region: Region,
     ) -> float:
         agent.hits += 1
+        flight = self.flight
         if not write:
+            if flight is not None:
+                flight.line_event(
+                    self._now(), line, region, agent.socket, False, "hit",
+                    self.cost.l2_hit,
+                )
             return self.cost.l2_hit
         if state.is_writable:
             agent.set_state(line, LineState.MODIFIED)
+            if flight is not None:
+                flight.line_event(
+                    self._now(), line, region, agent.socket, True, "hit",
+                    self.cost.store_buffer,
+                )
             return self.cost.store_buffer
         # Shared/Forward: upgrade requires invalidating other sharers.
+        if flight is not None:
+            # Remote-ness must be read before _invalidate_others mutates
+            # the holders list.
+            remote = any(
+                h is not agent and h.socket != agent.socket
+                for h in self._holders.get(line, ())
+            )
         latency = self._invalidate_others(agent, line)
         agent.set_state(line, LineState.MODIFIED)
         if latency == 0.0:
             latency = self.cost.local_invalidate
+        if flight is not None:
+            kind = "upgrade_remote" if remote else "upgrade_local"
+            flight.line_event(
+                self._now(), line, region, agent.socket, True, kind, latency
+            )
         return latency
 
     def _miss(
@@ -712,8 +762,10 @@ class CoherenceFabric(Instrumented):
             if region.home == agent.socket:
                 latency = self.cost.remote_cache_reader_homed
                 self._count(agent.socket, "spec_mem_read")
+                kind = "cache_remote_spec"
             else:
                 latency = self.cost.remote_cache_writer_homed
+                kind = "cache_remote"
             cls = MessageClass.RFO if write else MessageClass.READ
             self._pending_queue += self.link.occupy(
                 MessageClass.SNOOP, direction=agent.socket, actor=agent.name
@@ -726,6 +778,7 @@ class CoherenceFabric(Instrumented):
                 self._pending_queue += self._snoop_disruption(agent)
         else:
             latency = self.cost.local_cache
+            kind = "cache_local"
 
         if write:
             # The RFO itself invalidates every other copy; no extra
@@ -740,6 +793,12 @@ class CoherenceFabric(Instrumented):
         else:
             self._downgrade_owners(line)
             self._install(agent, line, LineState.SHARED, region)
+        if self.flight is not None:
+            if dirty_holder is not None and crosses_link:
+                kind += "_hitm"
+            self.flight.line_event(
+                self._now(), line, region, agent.socket, write, kind, latency
+            )
         return latency
 
     def _line_access_fast(
@@ -861,8 +920,10 @@ class CoherenceFabric(Instrumented):
     ) -> float:
         if region.home == agent.socket:
             latency = self.cost.local_dram
+            kind = "dram_local"
         else:
             latency = self.cost.remote_dram
+            kind = "dram_remote"
             cls = MessageClass.RFO if write else MessageClass.READ
             latency += self.link.occupy(MessageClass.SNOOP, direction=agent.socket, actor=agent.name)
             latency += self.link.occupy(cls, direction=1 - agent.socket, actor=agent.name)
@@ -871,6 +932,10 @@ class CoherenceFabric(Instrumented):
                 latency += self._snoop_disruption(agent)
         new_state = LineState.MODIFIED if write else LineState.EXCLUSIVE
         self._install(agent, line, new_state, region)
+        if self.flight is not None:
+            self.flight.line_event(
+                self._now(), line, region, agent.socket, write, kind, latency
+            )
         return latency
 
     def _downgrade_owners(self, line: int) -> None:

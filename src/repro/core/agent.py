@@ -32,6 +32,10 @@ IDLE_GAP_NS = 12.0
 class NicQueueAgent(Instrumented):
     """Device-side processing loop for one queue pair."""
 
+    #: Optional :class:`repro.obs.flight.FlightRecorder`; class-level
+    #: None so detached iterations pay one attribute test per batch.
+    flight = None
+
     def __init__(self, interface, queue_index: int) -> None:
         self.interface = interface
         self.queue_index = queue_index
@@ -102,6 +106,17 @@ class NicQueueAgent(Instrumented):
             # --- TX: consume descriptors, read payloads, transmit.
             items, poll_ns = tx_poll(agent, tx_batch)
             ns += poll_ns
+            flight = self.flight
+            if flight is not None and items:
+                # The coherence protocol is the signal: the poll that
+                # returned these items observed the producer's
+                # invalidation at sim.now and finished fetching the
+                # descriptor lines poll_ns later.
+                fetch_ns = sim.now + poll_ns
+                for item in items:
+                    if item.trace is not None:
+                        flight.packet_event(item.trace, "signal_observed", sim.now)
+                        flight.packet_event(item.trace, "nic_fetch", fetch_ns)
             packets = assemble(items)
             if packets:
                 busy = True
@@ -178,6 +193,8 @@ class NicQueueAgent(Instrumented):
                     spans.append((seg.addr, seg.data_len))
                 seg = seg.seg_next
         ns += fabric.access_burst(self.agent, spans, write=False)
+        flight = self.flight
+        payload_ns = now + ns
         pkt_ns = self._pkt_ns
         for pkt, buf in packets:
             ns += pkt_ns
@@ -186,10 +203,16 @@ class NicQueueAgent(Instrumented):
                 if not seg.external:
                     to_free.append(seg)
                 seg = seg.seg_next
+            arrival = now + ns + config.wire_delay_ns
             if self.on_transmit is not None:
-                self.on_transmit(pkt, now + ns + config.wire_delay_ns)
+                self.on_transmit(pkt, arrival)
             else:
-                self._wire.append((now + ns + config.wire_delay_ns, pkt))
+                self._wire.append((arrival, pkt))
+            if flight is not None:
+                pid = getattr(pkt, "pkt_id", None)
+                if pid is not None and flight.tracked(pid):
+                    flight.packet_event(pid, "payload_fetch", payload_ns)
+                    flight.packet_event(pid, "wire", arrival)
             self.tx_packets += 1
         if config.nic_buffer_mgmt:
             ns += self.interface.pool.free(self.agent, to_free)
@@ -260,6 +283,15 @@ class NicQueueAgent(Instrumented):
                 self.agent, items, base_ns=base_ns + ns
             )
             ns += produce_ns
+            flight = self.flight
+            if flight is not None:
+                # Requeued items are re-received later and get recorded
+                # on eventual acceptance, keeping the chain monotone.
+                for item in items[:accepted]:
+                    pid = getattr(item.pkt, "pkt_id", None)
+                    if pid is not None and flight.tracked(pid):
+                        item.trace = pid
+                        flight.packet_event(pid, "compl_write", item.visible_at)
             # Ring backpressure: requeue anything not accepted.
             for item in items[accepted:]:
                 self._wire.appendleft((0.0, item.pkt))

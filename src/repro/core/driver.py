@@ -31,6 +31,10 @@ CONTINUATION = "cont"
 class CcnicDriver(RecoverableDriver, Instrumented):
     """Host-side API for one queue pair of a :class:`CcnicInterface`."""
 
+    #: Optional :class:`repro.obs.flight.FlightRecorder`; class-level
+    #: None so detached bursts pay one attribute test per burst.
+    flight = None
+
     def __init__(self, interface, queue_index: int, host_agent: CacheAgent) -> None:
         self.interface = interface
         self.queue_index = queue_index
@@ -170,6 +174,27 @@ class CcnicDriver(RecoverableDriver, Instrumented):
                 accepted_packets += 1
         self.tx_packets += accepted_packets
         self.tx_ns += ns
+        flight = self.flight
+        if flight is not None and accepted_items:
+            # Ride the trace id on each accepted packet's head descriptor
+            # so the NIC agent can attribute its fetch. Stamping after
+            # produce() is safe: consumers gate on visible_at, which is
+            # strictly in this step's future.
+            prev = 0
+            for (_buf, pkt), bound in zip(entries, bounds):
+                if bound > accepted_items:
+                    break
+                head = items[prev]
+                prev = bound
+                pid = getattr(pkt, "pkt_id", None)
+                if pid is None or not flight.want(pid):
+                    continue
+                submit_ns = getattr(pkt, "tx_ns", 0.0) or (
+                    self.interface.system.sim.now + base_ns
+                )
+                if flight.packet_begin(pid, submit_ns):
+                    head.trace = pid
+                    flight.packet_event(pid, "desc_write", head.visible_at)
         if span is not None:
             span.args["accepted"] = accepted_packets
             tracer.end(span, self.interface.system.sim.now + base_ns + ns)
@@ -191,6 +216,12 @@ class CcnicDriver(RecoverableDriver, Instrumented):
         out = [(item.pkt, item.buf) for item in items if item.pkt is not CONTINUATION]
         self.rx_packets += len(out)
         self.rx_ns += ns
+        flight = self.flight
+        if flight is not None and items:
+            reap_ns = self.interface.system.sim.now + ns
+            for item in items:
+                if item.trace is not None:
+                    flight.packet_event(item.trace, "host_reap", reap_ns)
         if span is not None:
             span.args["received"] = len(out)
             tracer.end(span, self.interface.system.sim.now + ns)

@@ -63,6 +63,7 @@ class WorkItem:
     pkt: Any          # opaque packet handle carried through the queue
     seq: int = 0
     visible_at: float = 0.0
+    trace: Any = None  # flight-recorder packet id riding the descriptor
 
 
 # Overlap accounting for independent line operations in one call: the

@@ -14,9 +14,14 @@ component registers into. It has three layers:
   parent linkage (a ``tx_burst`` span parents the per-descriptor
   coherence-transaction instants recorded inside it). Generalizes the
   debug :class:`~repro.sim.trace.Tracer`; zero-cost when disabled.
+* :class:`FlightRecorder` — cache-line lifecycle recording (ping-pong
+  counts, region-classified thrash tables, homing audit) plus sampled
+  per-packet critical-path waterfalls; zero-cost when detached, and
+  attaching drops the coherence fabric onto its reference path so
+  recorded runs stay fingerprint-identical.
 * Exporters — serialize a whole run to JSON or CSV, and dump span
   timelines in Chrome trace format (load via ``chrome://tracing`` or
-  https://ui.perfetto.dev).
+  https://ui.perfetto.dev), with flight counter tracks merged in.
 
 Typical wiring (the CLI's ``--metrics-out`` / ``--trace-out`` flags do
 exactly this)::
@@ -51,10 +56,21 @@ from repro.obs.registry import (
     MetricRegistry,
 )
 from repro.obs.spans import Span, SpanTracer
+from repro.obs.flight import (
+    FLIGHT_OFF,
+    FlightRecorder,
+    NullFlightRecorder,
+    attach_flight,
+    classify_region,
+    detach_flight,
+)
+from repro.obs.waterfall import STAGES, PacketWaterfall, WaterfallStats
 from repro.obs.export import (
     export_chrome_trace,
+    export_flight_json,
     export_metrics_csv,
     export_metrics_json,
+    load_flight_json,
     load_metrics_csv,
     load_metrics_json,
     metrics_rows,
@@ -63,22 +79,33 @@ from repro.obs.wire import instrument_all
 
 __all__ = [
     "CounterMetric",
+    "FLIGHT_OFF",
+    "FlightRecorder",
     "GaugeMetric",
     "HistogramMetric",
     "Instrumented",
     "MetricRegistry",
     "NULL_METRIC",
+    "NullFlightRecorder",
     "NullMetric",
     "NullRegistry",
     "NullTracer",
     "OBS_OFF",
     "Observability",
+    "PacketWaterfall",
+    "STAGES",
     "Span",
     "SpanTracer",
+    "WaterfallStats",
+    "attach_flight",
+    "classify_region",
+    "detach_flight",
     "export_chrome_trace",
+    "export_flight_json",
     "export_metrics_csv",
     "export_metrics_json",
     "instrument_all",
+    "load_flight_json",
     "load_metrics_csv",
     "load_metrics_json",
     "metrics_rows",

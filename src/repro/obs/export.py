@@ -16,6 +16,8 @@ from typing import Any, Dict, List, Tuple
 
 METRICS_SCHEMA = "repro.obs/metrics-v1"
 
+FLIGHT_SCHEMA = "repro.obs/flight-v1"
+
 
 def metrics_rows(registry) -> List[Tuple[str, str, float]]:
     """Flatten a registry snapshot into sorted (component, metric, value) rows."""
@@ -67,13 +69,44 @@ def load_metrics_csv(path: str) -> Dict[str, Dict[str, float]]:
     return out
 
 
-def export_chrome_trace(tracer, path: str) -> int:
+def export_flight_json(report: Dict[str, Any], path: str) -> Dict[str, Any]:
+    """Write a flight-recorder report (already schema-stamped) as JSON.
+
+    ``report`` comes from :meth:`repro.obs.flight.FlightRecorder.report`
+    and carries ``schema: repro.obs/flight-v1``; the stamp is enforced
+    here so hand-built dicts cannot silently produce unloadable files.
+    """
+    if report.get("schema") != FLIGHT_SCHEMA:
+        raise ValueError(
+            f"flight report missing schema stamp (got {report.get('schema')!r})"
+        )
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return report
+
+
+def load_flight_json(path: str) -> Dict[str, Any]:
+    """Read a flight report back; rejects foreign schemas."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != FLIGHT_SCHEMA:
+        raise ValueError(f"not a flight report: {path} (schema={doc.get('schema')!r})")
+    return doc
+
+
+def export_chrome_trace(tracer, path: str, flight=None) -> int:
     """Write the tracer's span timeline as a Chrome trace JSON file.
 
-    Load in ``chrome://tracing`` or https://ui.perfetto.dev. Returns
-    the number of trace events written (including metadata rows).
+    Load in ``chrome://tracing`` or https://ui.perfetto.dev. When a
+    :class:`~repro.obs.flight.FlightRecorder` is given, its per-class
+    cross-socket-transfer counter tracks are merged into the same
+    timeline as Perfetto counter (``"C"``) events. Returns the number
+    of trace events written (including metadata rows).
     """
     doc = tracer.to_chrome()
+    if flight is not None:
+        doc["traceEvents"].extend(flight.counter_tracks())
     with open(path, "w") as fh:
         json.dump(doc, fh)
         fh.write("\n")

@@ -243,19 +243,27 @@ class MetricRegistry:
         """``{component: {metric: value}}`` for everything registered.
 
         Histograms contribute flattened ``name.count``/``name.mean``/...
-        rows; adopted counter bags are copied verbatim.
+        rows; adopted counter bags are copied verbatim. A component with
+        no values (only empty histograms or an untouched adopted bag)
+        contributes no section at all — the flat CSV form cannot
+        represent an empty section, so materializing one here would
+        break the JSON/CSV round-trip equivalence the exporters promise.
         """
         out: Dict[str, Dict[str, float]] = {}
         for (component, name), metric in self._metrics.items():
-            section = out.setdefault(component, {})
             if isinstance(metric, HistogramMetric):
-                for suffix, value in metric.items():
+                rows = metric.items()
+                if not rows:
+                    continue
+                section = out.setdefault(component, {})
+                for suffix, value in rows:
                     section[f"{name}.{suffix}"] = value
             else:
-                section[name] = metric.value
+                out.setdefault(component, {})[name] = metric.value
         for component, counters in self._adopted:
-            section = out.setdefault(component, {})
-            section.update(counters.snapshot())
+            bag = counters.snapshot()
+            if bag:
+                out.setdefault(component, {}).update(bag)
         return out
 
     def reset(self) -> None:

@@ -185,8 +185,25 @@ class SpanTracer:
         a traced ``tx_burst`` they become that burst's children, which
         is exactly the descriptor-to-transaction linkage the trace
         viewer shows. Wraps ``fabric.access`` and restores it on exit.
+
+        Fast-path audit: the wrapper is *pure* with respect to the
+        fabric — it calls the original bound method (fast path intact
+        underneath) and only appends to this tracer — so traced and
+        untraced runs produce identical metric fingerprints on both the
+        memoized fast path and ``REPRO_SIM_SLOWPATH=1`` (regression
+        test: ``test_flight.py::TestSpanTracerFabricAudit``). The
+        memoized transition plans are still epoch-invalidated on attach
+        and detach, mirroring flight-recorder/fault-injector attach
+        semantics: rebuilt plans are deterministic, so this costs one
+        rebuild and buys the invariant that any instrumentation
+        attachment starts from a clean plan table. Note the fabric's
+        ``access_burst`` does not route through ``access`` on either
+        path, so burst payload traffic is invisible to this debug hook
+        — the flight recorder covers bursts via the per-line reference
+        path instead.
         """
         original = fabric.access
+        invalidate = getattr(fabric, "invalidate_plans", None)
 
         def traced(agent, addr, size, write):
             latency = original(agent, addr, size, write)
@@ -201,11 +218,15 @@ class SpanTracer:
             )
             return latency
 
+        if invalidate is not None:
+            invalidate()
         fabric.access = traced
         try:
             yield self
         finally:
             fabric.access = original
+            if invalidate is not None:
+                invalidate()
 
     # -- export ----------------------------------------------------------
 

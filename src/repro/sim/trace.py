@@ -6,6 +6,13 @@ default (tracing at packet rates is voluminous), but attaching a tracer
 to a fabric or driver during debugging answers "what exactly happened
 around t=X" without print statements.
 
+The tracer is a thin adapter over the unified
+:class:`repro.obs.spans.SpanTracer` spine: every ``record`` becomes a
+zero-duration instant span, so legacy debug traces and ``repro.obs``
+span timelines share one bounded store, one drop accounting and one
+Chrome-trace exporter. The flat :class:`TraceEvent` query API
+(``between``, ``by_category``) is preserved on top.
+
 Usage::
 
     tracer = Tracer(capacity=10000)
@@ -18,9 +25,10 @@ Usage::
 from __future__ import annotations
 
 import contextlib
-from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Iterator, List
+from typing import Any, Callable, Dict, Iterator, List
+
+from repro.obs.spans import SpanTracer
 
 
 @dataclass(frozen=True)
@@ -37,26 +45,35 @@ class TraceEvent:
 
 
 class Tracer:
-    """Bounded in-memory event recorder."""
+    """Bounded in-memory event recorder (adapter over SpanTracer)."""
 
     def __init__(self, capacity: int = 100_000) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
-        self.dropped = 0
+        # The single tracing spine: events live as instant spans, so
+        # capacity bounding and drop counting are SpanTracer's.
+        self._spans = SpanTracer(capacity=capacity)
         self._filters: List[Callable[[TraceEvent], bool]] = []
 
     # ------------------------------------------------------------------
+    @property
+    def dropped(self) -> int:
+        """Events evicted past capacity (delegated to the spine)."""
+        return self._spans.dropped
+
+    @property
+    def spans(self) -> SpanTracer:
+        """The underlying :class:`SpanTracer`, for span-level queries."""
+        return self._spans
+
     def record(self, when: float, category: str, actor: str, detail: str) -> None:
         """Append one event (oldest events roll off past capacity)."""
         event = TraceEvent(when=when, category=category, actor=actor, detail=detail)
         for keep in self._filters:
             if not keep(event):
                 return
-        if len(self._events) == self.capacity:
-            self.dropped += 1
-        self._events.append(event)
+        self._spans.instant(category, actor=actor, ts=when, detail=detail)
 
     def add_filter(self, keep: Callable[[TraceEvent], bool]) -> None:
         """Only record events for which every filter returns True."""
@@ -65,33 +82,50 @@ class Tracer:
     # ------------------------------------------------------------------
     def events(self) -> List[TraceEvent]:
         """All retained events, oldest first."""
-        return list(self._events)
+        return [
+            TraceEvent(
+                when=span.start_ns,
+                category=span.name,
+                actor=span.actor,
+                detail=span.args.get("detail", ""),
+            )
+            for span in self._spans.spans()
+        ]
 
     def between(self, start: float, end: float) -> List[TraceEvent]:
         """Events with ``start <= when < end``."""
-        return [e for e in self._events if start <= e.when < end]
+        return [e for e in self.events() if start <= e.when < end]
 
     def by_category(self, category: str) -> List[TraceEvent]:
         """Events of one category."""
-        return [e for e in self._events if e.category == category]
+        return [e for e in self.events() if e.category == category]
 
     def __len__(self) -> int:
-        return len(self._events)
+        return len(self._spans)
 
     def clear(self) -> None:
-        self._events.clear()
-        self.dropped = 0
+        self._spans.clear()
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """Chrome-trace-format dict of the recorded events (as instants)."""
+        return self._spans.to_chrome()
 
     # ------------------------------------------------------------------
     @contextlib.contextmanager
     def attach_fabric(self, fabric) -> Iterator["Tracer"]:
         """Record every coherence access while the context is active.
 
-        Wraps ``fabric.access`` (and therefore read/write/access_burst's
-        per-line work goes through the same path); restores the original
-        method on exit.
+        Wraps ``fabric.access`` and restores the original method on
+        exit. Note ``access_burst`` does not route through ``access``,
+        so burst payload traffic is invisible here — use the flight
+        recorder (:mod:`repro.obs.flight`) for full line coverage. The
+        wrapper is pure (it calls the original bound method and only
+        appends to this tracer), so traced runs keep their metric
+        fingerprints; plans are epoch-invalidated on attach/detach for
+        symmetry with the other instrumentation hooks.
         """
         original = fabric.access
+        invalidate = getattr(fabric, "invalidate_plans", None)
 
         def traced(agent, addr, size, write):
             latency = original(agent, addr, size, write)
@@ -106,8 +140,12 @@ class Tracer:
             )
             return latency
 
+        if invalidate is not None:
+            invalidate()
         fabric.access = traced
         try:
             yield self
         finally:
             fabric.access = original
+            if invalidate is not None:
+                invalidate()

@@ -105,6 +105,10 @@ class LoopbackApp(Instrumented):
             instead of deadlocking the closed-loop window.
     """
 
+    #: Optional :class:`repro.obs.flight.FlightRecorder`; the app closes
+    #: each sampled packet's waterfall at its RX-read timestamp.
+    flight = None
+
     def __init__(
         self,
         driver,
@@ -294,6 +298,11 @@ class LoopbackApp(Instrumented):
                         result._measured += 1
                         result._measured_bytes += pkt.size
                         result.window_end_ns = now + ns
+                flight = self.flight
+                if flight is not None:
+                    for pkt, _buf in entries:
+                        if flight.tracked(pkt.pkt_id):
+                            flight.packet_finish(pkt.pkt_id, pkt.rx_ns)
                 ns += drv_free(bufs_to_free)
 
             ns += drv_housekeeping()
@@ -347,6 +356,7 @@ def run_loopback(
     seed: int = 0,
     obs=None,
     recovery: Optional[RecoveryPolicy] = None,
+    flight=None,
 ) -> LoopbackResult:
     """Convenience wrapper: spawn one app on a started interface and run."""
     app = LoopbackApp(
@@ -363,6 +373,8 @@ def run_loopback(
     )
     if obs is not None and obs.enabled:
         app.instrument(obs)
+    if flight is not None:
+        app.flight = flight
     system.sim.spawn(app.run(), name="loopback-app")
     system.sim.run(until=max_sim_ns, stop_when=lambda: app.done)
     return app.result

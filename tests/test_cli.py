@@ -92,6 +92,40 @@ class TestTelemetryFlags:
         assert "fabric" in load_metrics_json(path)
 
 
+class TestProfileCommand:
+    def test_profile_prints_tables(self, capsys):
+        assert main(["profile", "--packets", "400", "--inflight", "16",
+                     "--batch", "8", "--sample-every", "2", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Packet critical path" in out
+        assert "Region-class thrash summary" in out
+        assert "Top thrashing lines" in out
+        assert "Homing audit" in out
+        assert "Sample waterfall" in out
+
+    def test_profile_flight_out(self, capsys, tmp_path):
+        from repro.obs import load_flight_json
+
+        path = str(tmp_path / "flight.json")
+        assert main(["profile", "--packets", "300", "--inflight", "8",
+                     "--batch", "4", "--flight-out", path]) == 0
+        report = load_flight_json(path)
+        assert report["config"]["interface"] == "ccnic"
+        assert set(report["classes"]) == {
+            "descriptor", "signal", "payload", "pool_meta", "other"}
+        assert report["waterfall"]["completed"] == 300
+
+    def test_loopback_flight_out(self, capsys, tmp_path):
+        from repro.obs import load_flight_json
+
+        path = str(tmp_path / "flight.json")
+        assert main(["loopback", "--packets", "300", "--inflight", "8",
+                     "--batch", "4", "--flight-out", path]) == 0
+        report = load_flight_json(path)
+        assert report["config"]["command"] == "loopback"
+        assert report["line_events"]["seen"] > 0
+
+
 class TestValidateCommand:
     def test_fast_validate(self, capsys):
         assert main(["validate", "--fast"]) == 0

@@ -1,8 +1,12 @@
 """Unit tests for the repro.obs telemetry subsystem."""
 
 import json
+import os
+import tempfile
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.obs import (
     NULL_METRIC,
@@ -161,6 +165,36 @@ class TestSpanTracer:
         assert "_instant" not in instants[0]["args"]
 
 
+class TestSpanTracerOverflow:
+    def test_oldest_evicted_and_drop_count(self):
+        tr = SpanTracer(capacity=3)
+        for i in range(5):
+            tr.instant("e", ts=float(i))
+        assert len(tr) == 3
+        assert tr.dropped == 2
+        assert [s.start_ns for s in tr.spans()] == [2.0, 3.0, 4.0]
+
+    def test_dropped_stays_zero_under_capacity(self):
+        tr = SpanTracer(capacity=3)
+        tr.instant("e", ts=0.0)
+        tr.instant("e", ts=1.0)
+        assert tr.dropped == 0
+
+    def test_to_chrome_well_formed_after_overflow(self):
+        tr = SpanTracer(capacity=2)
+        outer = tr.begin("op", start_ns=0.0)
+        for i in range(4):
+            # Instants nested in ``outer``, which itself gets evicted.
+            tr.instant("tick", ts=float(10 + i))
+        tr.end(outer, 100.0)
+        doc = tr.to_chrome()
+        json.dumps(doc)  # must serialize even with evicted parents
+        events = doc["traceEvents"]
+        assert len([e for e in events if e["ph"] in ("i", "X")]) == 2
+        assert all("ts" in e for e in events if e["ph"] != "M")
+        assert tr.dropped == 3
+
+
 class TestDisabledMode:
     def test_obs_off_is_fully_inert(self):
         assert not OBS_OFF.enabled
@@ -270,6 +304,72 @@ class TestExporters:
             doc = json.load(fh)
         assert len(doc["traceEvents"]) == count
         assert {e["ph"] for e in doc["traceEvents"]} == {"M", "X"}
+
+
+def _registries():
+    """Hypothesis strategy: registries mixing metric kinds and components.
+
+    Covers the S6 regression surface: ``#``-suffixed deduplicated
+    components, dotted metric names, histogram keys that flatten to
+    ``name.count``/``name.p99``..., and empty histograms that must not
+    materialize a section.
+    """
+    value = st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+
+    @st.composite
+    def build(draw):
+        reg = MetricRegistry()
+        for _ in range(draw(st.integers(1, 3))):
+            comp = reg.unique_component(
+                draw(st.sampled_from(["fabric", "driver.q0", "pool"]))
+            )
+            for i in range(draw(st.integers(0, 2))):
+                reg.counter(comp, f"c{i}.events").inc(draw(value))
+            for i in range(draw(st.integers(0, 2))):
+                reg.gauge(comp, f"g{i}.level").set(draw(value))
+            for i in range(draw(st.integers(0, 2))):
+                hist = reg.histogram(comp, f"h{i}.lat.ns")
+                for sample in draw(st.lists(value, max_size=4)):
+                    hist.record(sample)
+        return reg
+
+    return build()
+
+
+class TestExportRoundTripProperties:
+    @given(reg=_registries())
+    @settings(max_examples=30, deadline=None)
+    def test_csv_and_json_round_trips_equal_snapshot(self, reg):
+        snap = reg.snapshot()
+        with tempfile.TemporaryDirectory() as td:
+            jpath = os.path.join(td, "m.json")
+            cpath = os.path.join(td, "m.csv")
+            export_metrics_json(reg, jpath)
+            export_metrics_csv(reg, cpath)
+            assert load_metrics_json(jpath) == snap
+            assert load_metrics_csv(cpath) == snap
+        rows = metrics_rows(reg)
+        assert rows == sorted(rows)
+        assert {comp for comp, _name, _value in rows} == set(snap)
+
+    def test_dedup_component_histogram_regression(self, tmp_path):
+        # The original bug: an empty histogram under "fabric" made
+        # snapshot() emit an empty section that JSON kept and CSV
+        # dropped, so the two loaders disagreed.
+        reg = MetricRegistry()
+        first = reg.unique_component("fabric")
+        second = reg.unique_component("fabric")
+        assert second == "fabric#2"
+        reg.histogram(first, "lat.ns")  # never recorded into
+        reg.histogram(second, "lat.ns").record(5.0)
+        snap = reg.snapshot()
+        assert "fabric" not in snap
+        assert snap["fabric#2"]["lat.ns.count"] == 1.0
+        jpath = str(tmp_path / "m.json")
+        cpath = str(tmp_path / "m.csv")
+        export_metrics_json(reg, jpath)
+        export_metrics_csv(reg, cpath)
+        assert load_metrics_json(jpath) == load_metrics_csv(cpath) == snap
 
 
 class TestEndToEnd:
