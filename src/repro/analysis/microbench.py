@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from repro.errors import ConfigError
 from repro.pcie.mmio import MmioPath
 from repro.pcie.wc import WcBufferFile
 from repro.platform.presets import PlatformSpec
@@ -91,7 +92,7 @@ def pingpong(spec: PlatformSpec, case: str, iterations: int = 300) -> Histogram:
     ``case`` selects homing/colocation, matching Fig 8's x-axis.
     """
     if case not in PINGPONG_CASES:
-        raise ValueError(f"unknown pingpong case {case!r}")
+        raise ConfigError(f"unknown pingpong case {case!r}")
     system = System(spec, prefetch_host=False, prefetch_nic=False)
     writer = system.fabric.new_agent("writer", socket=0, capacity_lines=spec.l2_lines)
     reader = system.fabric.new_agent("reader", socket=1, capacity_lines=spec.l2_lines)
@@ -237,7 +238,7 @@ def wc_write_throughput(
     write-back stores, fences effectively free).
     """
     if bytes_per_barrier < 64 or bytes_per_barrier % 64:
-        raise ValueError("bytes_per_barrier must be a positive multiple of 64")
+        raise ConfigError("bytes_per_barrier must be a positive multiple of 64")
     if target == "wb_dram":
         # Write-back stores retire into the store buffer and drain
         # continuously; an sfence barely perturbs a steady stream, so
@@ -264,7 +265,7 @@ def wc_write_throughput(
             evict_stall_ns=80.0,
         )
     else:
-        raise ValueError(f"unknown target {target!r}")
+        raise ConfigError(f"unknown target {target!r}")
     ns = 0.0
     written = 0
     addr = 0

@@ -35,6 +35,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.loopback import InterfaceKind, build_interface, run_point
 from repro.core.recovery import RecoveryPolicy
+from repro.errors import ConfigError, SimulationError
 from repro.faults import FaultInjector, FaultPlan
 from repro.platform import icx
 
@@ -127,9 +128,9 @@ def _run_loopback_64b(quick: bool) -> ScenarioOutcome:
     """Closed-loop 64B CC-NIC loopback — the headline scenario."""
     n_packets = 4000 if quick else 50000
     setup = build_interface(icx(), InterfaceKind.CCNIC)
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro: allow(wall-clock) host benchmark timing
     result = run_point(setup, pkt_size=64, n_packets=n_packets, inflight=64)
-    wall = time.perf_counter() - start
+    wall = time.perf_counter() - start  # repro: allow(wall-clock) host benchmark timing
     system = setup.system
     snapshot = {
         "received": result.received,
@@ -155,9 +156,9 @@ def _run_kv_zipf(quick: bool) -> ScenarioOutcome:
     n_ops = 120 if quick else 500
     setup = build_interface(icx(), InterfaceKind.CCNIC)
     app = KvServerApp(setup, KvWorkload.ads(), offered_mops=50.0, n_ops=n_ops)
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro: allow(wall-clock) host benchmark timing
     result = app.run()
-    wall = time.perf_counter() - start
+    wall = time.perf_counter() - start  # repro: allow(wall-clock) host benchmark timing
     system = setup.system
     snapshot = {
         "ops": result.ops,
@@ -186,7 +187,7 @@ def _run_faults_canned(quick: bool) -> ScenarioOutcome:
     n_packets = 1200 if quick else 6000
     faults = FaultInjector(FaultPlan.canned(), seed=7)
     setup = build_interface(icx(), InterfaceKind.CCNIC, faults=faults)
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro: allow(wall-clock) host benchmark timing
     result = run_point(
         setup,
         pkt_size=256,
@@ -194,7 +195,7 @@ def _run_faults_canned(quick: bool) -> ScenarioOutcome:
         inflight=64,
         recovery=RecoveryPolicy(),
     )
-    wall = time.perf_counter() - start
+    wall = time.perf_counter() - start  # repro: allow(wall-clock) host benchmark timing
     system = setup.system
     snapshot = {
         "received": result.received,
@@ -245,7 +246,7 @@ def run_scenario(
     try:
         _desc, runner = SCENARIOS[name]
     except KeyError:
-        raise ValueError(
+        raise ConfigError(
             f"unknown scenario {name!r} (choose from {', '.join(SCENARIOS)})"
         )
     prev = os.environ.get(SLOWPATH_ENV)
@@ -259,7 +260,7 @@ def run_scenario(
         for _ in range(max(1, repeat)):
             this = runner(quick)
             if outcome is not None and this.snapshot != outcome.snapshot:
-                raise RuntimeError(
+                raise SimulationError(
                     f"scenario {name!r} is nondeterministic across repeats"
                 )
             outcome = this
@@ -304,7 +305,7 @@ def run_suite(
         "repeat": repeat,
         "python": platform.python_version(),
         "machine": platform.machine(),
-        "generated_unix": int(time.time()),
+        "generated_unix": int(time.time()),  # repro: allow(wall-clock) report timestamp
         "scenarios": {},
     }
     for name in names:

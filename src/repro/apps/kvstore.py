@@ -298,6 +298,7 @@ def kv_thread_study(
     obs=None,
     faults=None,
     flight=None,
+    sanitizer=None,
 ) -> KvStudy:
     """Measure one server thread in detail and compose the curve.
 
@@ -308,7 +309,8 @@ def kv_thread_study(
     system; ``flight`` an optional
     :class:`repro.obs.flight.FlightRecorder` attached to every
     recording layer (line events + packet waterfalls where the CC-NIC
-    driver is in play).
+    driver is in play); ``sanitizer`` an optional
+    :class:`repro.check.Sanitizer` attached to every checked layer.
     """
     setup = build_interface(
         spec, kind if kind.is_coherent else InterfaceKind.CX6, obs=obs, faults=faults
@@ -317,6 +319,10 @@ def kv_thread_study(
         from repro.analysis.profile import attach_recorder
 
         attach_recorder(setup, flight)
+    if sanitizer is not None:
+        from repro.analysis.checks import attach_sanitizer
+
+        attach_sanitizer(setup, sanitizer)
     app = KvServerApp(setup, workload, offered_mops=probe_mops, n_ops=n_ops)
     app.run()
     # Scale on the application thread's own service rate: under CC-NIC

@@ -237,13 +237,15 @@ def rpc_thread_study(
     obs=None,
     faults=None,
     flight=None,
+    sanitizer=None,
 ) -> RpcStudy:
     """Measure one fast-path thread; compose the thread-count answer.
 
     ``faults`` is an optional :class:`repro.faults.FaultInjector`
     attached to the built system; ``flight`` an optional
     :class:`repro.obs.flight.FlightRecorder` attached to every
-    recording layer.
+    recording layer; ``sanitizer`` an optional
+    :class:`repro.check.Sanitizer` attached to every checked layer.
     """
     setup = build_interface(
         spec, kind if kind.is_coherent else InterfaceKind.CX6, obs=obs, faults=faults
@@ -252,6 +254,10 @@ def rpc_thread_study(
         from repro.analysis.profile import attach_recorder
 
         attach_recorder(setup, flight)
+    if sanitizer is not None:
+        from repro.analysis.checks import attach_sanitizer
+
+        attach_sanitizer(setup, sanitizer)
     fastpath = TasFastPath(setup, n_flows=n_flows, offered_mops=probe_mops, n_ops=n_ops)
     fastpath.run()
     if nic_cap_mops is None:

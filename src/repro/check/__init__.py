@@ -1,0 +1,53 @@
+"""Protocol sanitizer and determinism lint suite (``repro.check``).
+
+Two heads, one contract — catch protocol and reproducibility bugs that
+timing-level tests can miss:
+
+* :class:`Sanitizer` — a runtime happens-before checker over the
+  simulated coherence domain. It attaches like the flight recorder
+  (zero cost detached; attaching forces the fabric's reference path so
+  sanitized runs stay fingerprint-identical) and reports descriptor
+  races, torn grouped reads, double reaps, blank-skip violations,
+  buffer use-after-free / double-free across the host<->NIC pool
+  handoff, and writer-homing violations.
+* :func:`run_lint` — a visitor-based static linter over the source
+  tree enforcing the determinism contracts the simulator rests on: no
+  wall-clock or unseeded randomness, fast-path/reference twins with a
+  fingerprint test, zero-cost-detached hook guards, no ``id()``-keyed
+  iteration, and the ``repro.errors`` exception taxonomy. Inline
+  ``# repro: allow(<rule>)`` waivers are counted, never silent.
+
+Surface through the CLI: ``python -m repro check`` (lint) and
+``--sanitize`` / ``--sanitize=strict`` on loopback/kv/rpc runs.
+"""
+
+from repro.check.hb import HBTracker, VectorClock
+from repro.check.lint import (
+    LintFinding,
+    LintReport,
+    format_lint_findings,
+    format_lint_summary,
+    lint_source,
+    run_lint,
+)
+from repro.check.rules import LintRule, default_rules
+from repro.check.sanitizer import METADATA_CLASSES, Sanitizer, Violation
+from repro.obs.export import LINT_SCHEMA, SANITIZE_SCHEMA
+
+__all__ = [
+    "HBTracker",
+    "LINT_SCHEMA",
+    "LintFinding",
+    "LintReport",
+    "LintRule",
+    "METADATA_CLASSES",
+    "SANITIZE_SCHEMA",
+    "Sanitizer",
+    "VectorClock",
+    "Violation",
+    "default_rules",
+    "format_lint_findings",
+    "format_lint_summary",
+    "lint_source",
+    "run_lint",
+]

@@ -1,0 +1,98 @@
+"""Vector clocks and happens-before tracking for the protocol sanitizer.
+
+CC-NIC has no interrupts and no shared locks; every cross-agent ordering
+edge is a *publish/observe* pair over coherent memory — the producer's
+descriptor store (with its inlined signal) is a release, and the
+consumer's poll that observes the signal is an acquire (§3.2: the
+coherence protocol IS the signal). The sanitizer models exactly that
+with TSan-style vector clocks:
+
+* ``release(agent, key)`` — agent publishes through ``key`` (a signal
+  line): tick the agent's clock and snapshot it on the key.
+* ``acquire(agent, key)`` — agent observes ``key``'s signal: merge the
+  stored snapshot into the agent's clock.
+* ``ordered(agent, key)`` — does the agent's clock cover the publish?
+  A consume that is not ordered-after its publish is a race even when
+  the simulated timing happened to be safe on this run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable
+
+
+class VectorClock:
+    """A sparse agent-name -> counter map with the usual lattice ops."""
+
+    __slots__ = ("_c",)
+
+    def __init__(self, init: Dict[str, int] = None) -> None:
+        self._c: Dict[str, int] = dict(init) if init else {}
+
+    def tick(self, agent: str) -> None:
+        """Advance ``agent``'s own component."""
+        self._c[agent] = self._c.get(agent, 0) + 1
+
+    def merge(self, other: "VectorClock") -> None:
+        """Pointwise max with ``other`` (the acquire operation)."""
+        mine = self._c
+        for agent, value in other._c.items():
+            if value > mine.get(agent, 0):
+                mine[agent] = value
+
+    def covers(self, other: "VectorClock") -> bool:
+        """True when every component of ``other`` is <= this clock's."""
+        mine = self._c
+        for agent, value in other._c.items():
+            if mine.get(agent, 0) < value:
+                return False
+        return True
+
+    def snapshot(self) -> "VectorClock":
+        """An independent copy (stored on release keys)."""
+        return VectorClock(self._c)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}:{v}" for k, v in sorted(self._c.items()))
+        return f"<VC {inner}>"
+
+
+class HBTracker:
+    """Per-agent clocks plus release snapshots keyed by signal identity."""
+
+    def __init__(self) -> None:
+        self._agents: Dict[str, VectorClock] = {}
+        self._released: Dict[Hashable, VectorClock] = {}
+
+    def clock(self, agent: str) -> VectorClock:
+        clock = self._agents.get(agent)
+        if clock is None:
+            clock = self._agents[agent] = VectorClock()
+        return clock
+
+    def release(self, agent: str, key: Hashable) -> None:
+        """Publish: snapshot ``agent``'s (ticked) clock onto ``key``."""
+        clock = self.clock(agent)
+        clock.tick(agent)
+        self._released[key] = clock.snapshot()
+
+    def acquire(self, agent: str, key: Hashable) -> None:
+        """Observe: merge ``key``'s publish snapshot into ``agent``."""
+        released = self._released.get(key)
+        if released is not None:
+            self.clock(agent).merge(released)
+
+    def ordered(self, agent: str, key: Hashable) -> bool:
+        """Is ``agent`` ordered after the publish stored on ``key``?
+
+        Keys that were never released are trivially ordered (the caller
+        reports those as reads of unpublished slots separately).
+        """
+        released = self._released.get(key)
+        if released is None:
+            return True
+        return self.clock(agent).covers(released)
+
+    def forget(self, key: Hashable) -> None:
+        """Drop a release snapshot (consumed slots; bounds memory)."""
+        self._released.pop(key, None)

@@ -21,6 +21,10 @@ Commands mirror the measurement tooling used throughout the evaluation:
 ``faults``
     Run a fault-injection loopback (canned or file-supplied plan) and
     print the injection and recovery summary.
+``check``
+    Run the static determinism/protocol-hygiene linter over the source
+    tree (``repro.check``). The runtime half of the suite attaches to
+    loopback/kv/rpc runs via ``--sanitize`` / ``--sanitize strict``.
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ from typing import List, Optional
 from repro.analysis import InterfaceKind, format_table
 from repro.analysis.loopback import build_interface, run_point, wire_bytes_per_packet
 from repro.core.recovery import RecoveryPolicy
+from repro.errors import SanitizerError
 from repro.faults import FAULT_KINDS, FaultInjector, FaultPlan
 from repro.obs import (
     FlightRecorder,
@@ -156,6 +161,65 @@ def _export_flight(flight, args: argparse.Namespace, config: dict) -> None:
 
 
 # ----------------------------------------------------------------------
+# Sanitizer plumbing (shared by loopback / kv / rpc)
+# ----------------------------------------------------------------------
+def _add_sanitize_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--sanitize", nargs="?", const="on", choices=["on", "strict"],
+        default=None,
+        help="attach the protocol sanitizer (reference fabric path; "
+             "'strict' raises on the first violation)",
+    )
+    sub.add_argument(
+        "--sanitize-out", default=None, metavar="FILE",
+        help="write the sanitizer report (JSON, repro.check/sanitize-v1)",
+    )
+
+
+def _make_sanitizer(args: argparse.Namespace):
+    """Build a sanitizer when ``--sanitize``/``--sanitize-out`` ask for one."""
+    if (
+        getattr(args, "sanitize", None) is None
+        and getattr(args, "sanitize_out", None) is None
+    ):
+        return None
+    from repro.check import Sanitizer
+
+    _check_writable(getattr(args, "sanitize_out", None))
+    return Sanitizer(strict=getattr(args, "sanitize", None) == "strict")
+
+
+def _report_sanitizer(sanitizer, args: argparse.Namespace, config: dict) -> int:
+    """Print + export the sanitizer report; non-zero when it found races."""
+    if sanitizer is None:
+        return 0
+    from repro.analysis.checks import format_rule_summary, format_violation_table
+    from repro.obs.export import export_sanitize_json
+
+    report = sanitizer.report(config=config)
+    print()
+    print(format_rule_summary(report))
+    if report["findings"]:
+        print()
+        print(format_violation_table(report))
+    if getattr(args, "sanitize_out", None):
+        export_sanitize_json(report, args.sanitize_out)
+        print(f"wrote sanitizer report to {args.sanitize_out}")
+    return 1 if report["total"] else 0
+
+
+def _print_sanitizer_error(exc) -> None:
+    print(f"SANITIZER: {exc}")
+    print(f"  rule:     {exc.rule}")
+    if exc.addr is not None:
+        print(f"  addr:     {exc.addr:#x}")
+    if exc.agents:
+        print(f"  agents:   {', '.join(exc.agents)}")
+    if exc.sim_time is not None:
+        print(f"  sim time: {exc.sim_time:.1f} ns")
+
+
+# ----------------------------------------------------------------------
 # Fault-injection plumbing (shared by loopback / kv / rpc / faults)
 # ----------------------------------------------------------------------
 def _add_fault_args(sub: argparse.ArgumentParser) -> None:
@@ -224,6 +288,7 @@ def cmd_loopback(args: argparse.Namespace) -> int:
     obs = _make_obs(args)
     faults, recovery = _make_faults(args)
     flight = _make_flight(args)
+    sanitizer = _make_sanitizer(args)
     setup = build_interface(
         spec,
         kind,
@@ -237,19 +302,33 @@ def cmd_loopback(args: argparse.Namespace) -> int:
         from repro.analysis.profile import attach_recorder
 
         attach_recorder(setup, flight)
-    with _maybe_trace_fabric(obs, setup.system.fabric):
-        result = run_point(
-            setup,
-            pkt_size=args.size,
-            n_packets=args.packets,
-            inflight=None if args.rate else args.inflight,
-            offered_mpps=args.rate,
-            tx_batch=args.batch,
-            rx_batch=args.batch,
-            obs=obs,
-            recovery=recovery,
-            flight=flight,
-        )
+    if sanitizer is not None:
+        from repro.analysis.checks import attach_sanitizer
+
+        attach_sanitizer(setup, sanitizer)
+    sanitize_config = {
+        "command": "loopback", "platform": spec.name, "interface": kind.value,
+        "pkt_size": args.size, "n_packets": args.packets,
+        "mode": getattr(args, "sanitize", None) or "on",
+    }
+    try:
+        with _maybe_trace_fabric(obs, setup.system.fabric):
+            result = run_point(
+                setup,
+                pkt_size=args.size,
+                n_packets=args.packets,
+                inflight=None if args.rate else args.inflight,
+                offered_mpps=args.rate,
+                tx_batch=args.batch,
+                rx_batch=args.batch,
+                obs=obs,
+                recovery=recovery,
+                flight=flight,
+            )
+    except SanitizerError as exc:
+        _print_sanitizer_error(exc)
+        _report_sanitizer(sanitizer, args, sanitize_config)
+        return 2
     d0, d1 = wire_bytes_per_packet(setup, result)
     rows = [
         ("received packets", result.received),
@@ -273,7 +352,7 @@ def cmd_loopback(args: argparse.Namespace) -> int:
         "command": "loopback", "platform": spec.name, "interface": kind.value,
         "pkt_size": args.size, "n_packets": args.packets,
     })
-    return 0
+    return _report_sanitizer(sanitizer, args, sanitize_config)
 
 
 def cmd_faults(args: argparse.Namespace) -> int:
@@ -392,17 +471,30 @@ def cmd_kv(args: argparse.Namespace) -> int:
     workload = KvWorkload.ads() if args.distribution == "ads" else KvWorkload.geo()
     obs = _make_obs(args)
     flight = _make_flight(args)
+    sanitizer = _make_sanitizer(args)
+    sanitize_config = {
+        "command": "kv", "platform": spec.name, "interface": "ccnic",
+        "distribution": args.distribution, "n_ops": args.ops,
+        "mode": getattr(args, "sanitize", None) or "on",
+    }
     rows = []
     for kind in (InterfaceKind.CX6, InterfaceKind.CCNIC):
         # Fresh injector per comparison point: one-shot NIC events and
         # the RNG stream must not be shared between the two systems.
         faults, _recovery = _make_faults(args)
-        # The flight recorder profiles the coherent point only: mixing
-        # line addresses from two systems would corrupt the thrash table.
-        study = kv_thread_study(
-            spec, kind, workload, n_ops=args.ops, obs=obs, faults=faults,
-            flight=flight if kind.is_coherent else None,
-        )
+        # The flight recorder and sanitizer cover the coherent point
+        # only: mixing line addresses from two systems would corrupt
+        # the thrash table and the happens-before state.
+        try:
+            study = kv_thread_study(
+                spec, kind, workload, n_ops=args.ops, obs=obs, faults=faults,
+                flight=flight if kind.is_coherent else None,
+                sanitizer=sanitizer if kind.is_coherent else None,
+            )
+        except SanitizerError as exc:
+            _print_sanitizer_error(exc)
+            _report_sanitizer(sanitizer, args, sanitize_config)
+            return 2
         rows.append((kind.value, study.per_thread_mops, study.peak_mops,
                      study.threads_to_saturate(spec)))
     print(format_table(
@@ -415,7 +507,7 @@ def cmd_kv(args: argparse.Namespace) -> int:
         "command": "kv", "platform": spec.name, "interface": "ccnic",
         "distribution": args.distribution, "n_ops": args.ops,
     })
-    return 0
+    return _report_sanitizer(sanitizer, args, sanitize_config)
 
 
 def cmd_rpc(args: argparse.Namespace) -> int:
@@ -424,14 +516,25 @@ def cmd_rpc(args: argparse.Namespace) -> int:
     spec = _platform(args.platform)
     obs = _make_obs(args)
     flight = _make_flight(args)
+    sanitizer = _make_sanitizer(args)
+    sanitize_config = {
+        "command": "rpc", "platform": spec.name, "interface": "ccnic",
+        "n_ops": args.ops, "mode": getattr(args, "sanitize", None) or "on",
+    }
     rows = []
     for kind in (InterfaceKind.CX6, InterfaceKind.CCNIC):
         # Fresh injector per comparison point (see cmd_kv).
         faults, _recovery = _make_faults(args)
-        study = rpc_thread_study(
-            spec, kind, n_ops=args.ops, obs=obs, faults=faults,
-            flight=flight if kind.is_coherent else None,
-        )
+        try:
+            study = rpc_thread_study(
+                spec, kind, n_ops=args.ops, obs=obs, faults=faults,
+                flight=flight if kind.is_coherent else None,
+                sanitizer=sanitizer if kind.is_coherent else None,
+            )
+        except SanitizerError as exc:
+            _print_sanitizer_error(exc)
+            _report_sanitizer(sanitizer, args, sanitize_config)
+            return 2
         rows.append((kind.value, study.per_thread_mops, study.peak_mops,
                      study.threads_to_saturate()))
     print(format_table(
@@ -444,7 +547,7 @@ def cmd_rpc(args: argparse.Namespace) -> int:
         "command": "rpc", "platform": spec.name, "interface": "ccnic",
         "n_ops": args.ops,
     })
-    return 0
+    return _report_sanitizer(sanitizer, args, sanitize_config)
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -572,6 +675,37 @@ def cmd_perf(args: argparse.Namespace) -> int:
     return status
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    import repro
+    from repro.check import (
+        format_lint_findings,
+        format_lint_summary,
+        run_lint,
+    )
+    from repro.obs.export import export_lint_json
+
+    root = args.root or os.path.dirname(os.path.abspath(repro.__file__))
+    tests_root = args.tests
+    if tests_root is None:
+        # Default to the sibling tests/ tree of a source checkout, when
+        # present; an installed package skips the fingerprint-test check.
+        candidate = os.path.join(os.path.dirname(os.path.dirname(root)), "tests")
+        tests_root = candidate if os.path.isdir(candidate) else None
+    _check_writable(args.json)
+    report = run_lint(root=root, tests_root=tests_root)
+    print(format_lint_summary(report))
+    if report.findings:
+        print()
+        print(format_lint_findings(report, limit=args.limit))
+    if args.json:
+        export_lint_json(
+            report.as_report(config={"root": root, "tests_root": tests_root}),
+            args.json,
+        )
+        print(f"wrote lint report to {args.json}")
+    return 0 if report.ok else 1
+
+
 def cmd_table1(_args: argparse.Namespace) -> int:
     print(format_table(
         ["Protocol", "GT/s", "1 Link GB/s", "Max Total GB/s"],
@@ -604,6 +738,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_args(lb)
     _add_fault_args(lb)
     _add_flight_args(lb)
+    _add_sanitize_args(lb)
     lb.set_defaults(func=cmd_loopback)
 
     pr = sub.add_parser("profile", help="flight-recorder critical-path profile")
@@ -654,6 +789,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_args(kv)
     _add_fault_args(kv)
     _add_flight_args(kv)
+    _add_sanitize_args(kv)
     kv.set_defaults(func=cmd_kv)
 
     rpc = sub.add_parser("rpc", help="TCP RPC thread study")
@@ -662,6 +798,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_args(rpc)
     _add_fault_args(rpc)
     _add_flight_args(rpc)
+    _add_sanitize_args(rpc)
     rpc.set_defaults(func=cmd_rpc)
 
     pf = sub.add_parser("perf", help="simulator self-benchmark (events/sec)")
@@ -686,6 +823,17 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("--tolerance", type=float, default=0.30, metavar="FRAC",
                     help="allowed events/sec drop vs. baseline (default 0.30)")
     pf.set_defaults(func=cmd_perf)
+
+    ck = sub.add_parser("check", help="static determinism/protocol lint")
+    ck.add_argument("--root", default=None, metavar="DIR",
+                    help="package root to lint (default: installed repro)")
+    ck.add_argument("--tests", default=None, metavar="DIR",
+                    help="tests tree for the fingerprint-test presence check")
+    ck.add_argument("--json", default=None, metavar="FILE",
+                    help="write the lint report (JSON, repro.check/lint-v1)")
+    ck.add_argument("--limit", type=int, default=50, metavar="N",
+                    help="max findings rows to print (default 50)")
+    ck.set_defaults(func=cmd_check)
 
     t1 = sub.add_parser("table1", help="interconnect bandwidth table")
     t1.set_defaults(func=cmd_table1)

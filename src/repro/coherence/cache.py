@@ -34,6 +34,11 @@ class CacheAgent:
     #: Capacity evictions are bookkept inline by the fabric and are not
     #: reported here — the recorder sees protocol-driven losses
     #: (invalidations and HitM ownership migrations).
+    #:
+    #: The protocol sanitizer (:mod:`repro.check`) deliberately has no
+    #: agent-level hook: ownership and ordering are protocol concepts,
+    #: so it observes rings, the pool and the fabric's speculative-read
+    #: path instead of individual tag operations.
     flight = None
 
     def __init__(

@@ -113,6 +113,12 @@ class CoherenceFabric(Instrumented):
     #: attach via :meth:`attach_flight`, which forces the reference path.
     flight = None
 
+    #: Optional :class:`repro.check.sanitizer.Sanitizer`. Class-level
+    #: None; attach via :meth:`attach_sanitizer`, which (like the flight
+    #: recorder) forces the reference path so sanitized runs stay
+    #: bit-identical to unsanitized ones.
+    sanitizer = None
+
     def __init__(
         self,
         sim: Simulator,
@@ -224,9 +230,34 @@ class CoherenceFabric(Instrumented):
         self.invalidate_plans()
 
     def detach_flight(self) -> None:
-        """Detach any recorder and restore the configured path choice."""
+        """Detach any recorder and restore the configured path choice.
+
+        The fast path only returns when no other reference-path client
+        (the sanitizer) is still attached.
+        """
         self.flight = None
-        self._fastpath = not self.sim.slowpath
+        if self.sanitizer is None:
+            self._fastpath = not self.sim.slowpath
+        self.invalidate_plans()
+
+    def attach_sanitizer(self, sanitizer) -> None:
+        """Attach a protocol sanitizer; all accesses take the reference path.
+
+        Same contract as :meth:`attach_flight`: the memoized plans are
+        invalidated and the fast path is disabled, so the sanitizer's
+        speculative-read hook lives only in the reference
+        implementations and sanitized runs stay bit-identical.
+        """
+        self.sanitizer = sanitizer
+        self._fastpath = False
+        self.invalidate_plans()
+
+    def detach_sanitizer(self) -> None:
+        """Detach the sanitizer; restore the fast path unless the flight
+        recorder still needs the reference path."""
+        self.sanitizer = None
+        if self.flight is None:
+            self._fastpath = not self.sim.slowpath
         self.invalidate_plans()
 
     def _plans_live(self) -> Dict[int, tuple]:
@@ -763,6 +794,10 @@ class CoherenceFabric(Instrumented):
                 latency = self.cost.remote_cache_reader_homed
                 self._count(agent.socket, "spec_mem_read")
                 kind = "cache_remote_spec"
+                if self.sanitizer is not None:
+                    self.sanitizer.spec_read(
+                        self._now(), line, region, agent, write
+                    )
             else:
                 latency = self.cost.remote_cache_writer_homed
                 kind = "cache_remote"
@@ -1147,6 +1182,7 @@ class CoherenceFabric(Instrumented):
         requester re-issue the snoop after the turnaround, so the retry
         message is charged on the link a second time.
         """
+        # repro: allow(zero-cost-hooks) every caller guards on self.faults
         fault = self.faults.snoop_decide(self.sim.now)
         if fault is None:
             return 0.0

@@ -36,6 +36,10 @@ class NicQueueAgent(Instrumented):
     #: None so detached iterations pay one attribute test per batch.
     flight = None
 
+    #: Optional :class:`repro.check.sanitizer.Sanitizer`; same
+    #: zero-cost-detached idiom as :attr:`flight`.
+    sanitizer = None
+
     def __init__(self, interface, queue_index: int) -> None:
         self.interface = interface
         self.queue_index = queue_index
@@ -186,7 +190,10 @@ class NicQueueAgent(Instrumented):
         ns = 0.0
         to_free: List[Buffer] = []
         spans = []
+        san = self.sanitizer
         for _pkt, buf in packets:
+            if san is not None:
+                san.buf_access(self.agent, buf, write=False)
             seg = buf
             while seg is not None:
                 if seg.data_len:
@@ -260,6 +267,7 @@ class NicQueueAgent(Instrumented):
         ns = 0.0
         items: List[WorkItem] = []
         spans: List[Tuple[int, int]] = []
+        san = self.sanitizer
         for position, pkt in enumerate(packets):
             buf, alloc_ns = self._rx_chain(pkt.size)
             ns += alloc_ns
@@ -269,6 +277,8 @@ class NicQueueAgent(Instrumented):
                     (0.0, waiting) for waiting in reversed(packets[position:])
                 )
                 break
+            if san is not None:
+                san.buf_access(self.agent, buf, write=True)
             for seg in buf.segments():
                 if config.caching_stores:
                     spans.append((seg.addr, seg.data_len))

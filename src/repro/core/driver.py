@@ -35,6 +35,10 @@ class CcnicDriver(RecoverableDriver, Instrumented):
     #: None so detached bursts pay one attribute test per burst.
     flight = None
 
+    #: Optional :class:`repro.check.sanitizer.Sanitizer`; same
+    #: zero-cost-detached idiom as :attr:`flight`.
+    sanitizer = None
+
     def __init__(self, interface, queue_index: int, host_agent: CacheAgent) -> None:
         self.interface = interface
         self.queue_index = queue_index
@@ -81,6 +85,9 @@ class CcnicDriver(RecoverableDriver, Instrumented):
         bypass the cache (the Fig 9 comparison case).
         """
         buf.set_payload(size)
+        san = self.sanitizer
+        if san is not None:
+            san.buf_access(self.agent, buf, write=True)
         fabric = self.interface.system.fabric
         if self.interface.config.caching_stores:
             return fabric.write(self.agent, buf.addr, size)
@@ -96,6 +103,10 @@ class CcnicDriver(RecoverableDriver, Instrumented):
         The reads are independent, so they overlap in the core's fill
         buffers (charged via the fabric's burst-access model).
         """
+        san = self.sanitizer
+        if san is not None:
+            for buf in bufs:
+                san.buf_access(self.agent, buf, write=False)
         fabric = self.interface.system.fabric
         spans = [
             (seg.addr, seg.data_len)
@@ -110,9 +121,12 @@ class CcnicDriver(RecoverableDriver, Instrumented):
     def write_payloads(self, sized: Sequence[Tuple[Buffer, int]]) -> float:
         """Write a burst of TX payloads (overlapped independent stores)."""
         fabric = self.interface.system.fabric
+        san = self.sanitizer
         spans = []
         for buf, size in sized:
             buf.set_payload(size)
+            if san is not None:
+                san.buf_access(self.agent, buf, write=True)
             spans.append((buf.addr, size))
         if not spans:
             return 0.0

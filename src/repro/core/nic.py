@@ -6,6 +6,13 @@ satisfy these protocols, which is what lets the traffic generator, the
 application studies and :class:`~repro.analysis.loopback.LoopbackSetup`
 stay interface-agnostic. The protocols are ``runtime_checkable`` so
 tests can assert conformance with ``isinstance``.
+
+These protocols deliberately omit the optional observation hooks
+(``flight``, ``faults``, ``sanitizer`` class attributes on the concrete
+types): ``runtime_checkable`` isinstance checks would then demand them
+on every implementation, and the hooks are an attach-time concern of
+:mod:`repro.analysis.profile` / :mod:`repro.analysis.checks`, not part
+of the data-plane surface.
 """
 
 from __future__ import annotations

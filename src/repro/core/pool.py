@@ -46,6 +46,10 @@ class BufferPool(Instrumented):
     #: Cycles for the local recycling-stack fast path, per buffer.
     CYCLES_STACK = 4
 
+    #: Optional :class:`repro.check.sanitizer.Sanitizer`. Class-level
+    #: ``None`` keeps detached runs at one attribute load per call.
+    sanitizer = None
+
     def __init__(self, system: System, config: CcnicConfig, seed: int = 0) -> None:
         self.system = system
         self.config = config
@@ -167,6 +171,9 @@ class BufferPool(Instrumented):
             out.append(buf)
         self._c_alloc_ops[0] += 1.0
         self._c_alloc_bufs[0] += len(out)
+        san = self.sanitizer
+        if san is not None and out:
+            san.pool_alloc(self, agent, out)
         return out, ns
 
     def free(self, agent: CacheAgent, bufs: Sequence[Buffer]) -> float:
@@ -181,7 +188,12 @@ class BufferPool(Instrumented):
         name = agent.name
         cycles_stack = self._cycles_stack
         c_stack_free = self._c_stack_free
+        san = self.sanitizer
         for buf in bufs:
+            if san is not None:
+                # Before the state flip, so double frees are recorded
+                # even though the pool then raises.
+                san.pool_free(self, agent, buf)
             if not buf._allocated:
                 raise PoolError(f"double free of buffer {buf.buf_id}")
             buf._allocated = False

@@ -82,6 +82,10 @@ class CoherentQueue(Instrumented):
     #: Cycles of core work to build or parse one descriptor.
     CYCLES_PER_DESC = 12
 
+    #: Optional :class:`repro.check.sanitizer.Sanitizer`. Class-level
+    #: ``None`` keeps detached runs at one attribute load per call.
+    sanitizer = None
+
     def __init__(
         self,
         system: System,
@@ -209,6 +213,7 @@ class CoherentQueue(Instrumented):
         mlp = fabric.mlp
         first = True
         now = self.system.sim.now
+        san = self.sanitizer
         if self._grouped:
             # Invariant: tail is always group-aligned; each produce call
             # writes whole lines, zero-padding partial groups. Alignment
@@ -239,6 +244,8 @@ class CoherentQueue(Instrumented):
                 visible = now + base_ns + ns
                 for item in group:
                     item.visible_at = visible
+                if san is not None:
+                    san.group_publish(self, agent, base, group, visible)
                 accepted += len(group)
         else:
             cycles_desc = self._cycles_desc
@@ -253,12 +260,16 @@ class CoherentQueue(Instrumented):
                     ns += cost / mlp
                 ns += cycles_desc
                 item.visible_at = now + base_ns + ns
+                if san is not None:
+                    san.slot_publish(self, agent, self.tail, item, item.visible_at)
                 self.tail += 1
                 accepted += 1
         if accepted and not self.inline_signals:
             self.tail_value = self.tail
             ns += fabric.write(agent, self.tail_reg.base, 8)
             self._tail_visible_at = self.system.sim.now + base_ns + ns
+            if san is not None:
+                san.signal_publish(self, agent, self.tail_value, self._tail_visible_at)
         self.produced += accepted
         return accepted, ns
 
@@ -297,6 +308,9 @@ class CoherentQueue(Instrumented):
         mlp = fabric.mlp
         first = True
         cycles_desc = self._cycles_desc
+        san = self.sanitizer
+        if san is not None:
+            san.signal_observe(self, agent, "tail", sim.now)
         while len(out) < take:
             index = self.head % self.n_slots
             item = self._slots[index]
@@ -309,6 +323,8 @@ class CoherentQueue(Instrumented):
             else:
                 ns += cost / mlp
             ns += cycles_desc
+            if san is not None:
+                san.slot_consume(self, agent, self.head, item, sim.now, True)
             self._slots[index] = None
             out.append(item)
             self.head += 1
@@ -345,12 +361,22 @@ class CoherentQueue(Instrumented):
                 break  # unproduced line: this read was the (cheap) signal poll
             if isinstance(first_slot, WorkItem) and first_slot.visible_at > now:
                 break  # written, but the store has not retired yet
+            san = self.sanitizer
+            if san is not None:
+                san.signal_observe(self, agent, base, now)
             for index in (i0, i0 + 1, i0 + 2, i0 + 3):
                 entry = slots[index]
                 slots[index] = None
                 if entry is not _SKIPPED and entry is not None:
+                    if san is not None:
+                        san.slot_consume(self, agent, base + index - i0, entry, now, True)
                     append(entry)
                     ns += cycles_desc
+                elif san is not None:
+                    san.slot_consume(
+                        self, agent, base + index - i0, None, now, False,
+                        blank=entry is _SKIPPED,
+                    )
             # Clearing the line is the completion signal back to the
             # producer (Fig 6b): one write frees the group for reuse.
             cost = fabric.access(agent, line, 64, True)
@@ -366,6 +392,7 @@ class CoherentQueue(Instrumented):
         first = True
         now = self.system.sim.now
         cycles_desc = self._cycles_desc
+        san = self.sanitizer
         while len(out) < max_items:
             index = self.head % self.n_slots
             item = self._slots[index]
@@ -382,6 +409,9 @@ class CoherentQueue(Instrumented):
             cost = fabric.write(agent, self.slot_addr(self.head), self._bytes_per_slot)
             ns += cost / mlp
             ns += cycles_desc
+            if san is not None:
+                san.signal_observe(self, agent, self.head, now)
+                san.slot_consume(self, agent, self.head, item, now, True)
             self._slots[index] = None
             out.append(item)
             self.head += 1
@@ -410,6 +440,8 @@ class CoherentQueue(Instrumented):
         self.tail_value = self.tail
         self._producer_head_cache = self.head
         self._tail_visible_at = 0.0
+        if self.sanitizer is not None:
+            self.sanitizer.queue_reset(self)
         return abandoned
 
     def __repr__(self) -> str:

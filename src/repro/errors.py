@@ -46,9 +46,43 @@ class FaultError(ReproError):
     """Invalid fault plan, fault event, or fault-injector misuse."""
 
 
-class ConfigError(ReproError):
-    """Invalid platform or interface configuration."""
+class ConfigError(ReproError, ValueError):
+    """Invalid platform, interface, or tool configuration.
+
+    Also a :class:`ValueError`: configuration mistakes are bad argument
+    values, so callers guarding stdlib-style (``except ValueError``)
+    keep working while everything stays catchable at :class:`ReproError`.
+    """
 
 
 class WorkloadError(ReproError):
     """Invalid workload parameters."""
+
+
+class CheckError(ReproError):
+    """Base class for ``repro.check`` findings (sanitizer and linter)."""
+
+
+class SanitizerError(CheckError):
+    """A protocol violation detected by the runtime sanitizer.
+
+    Raised by fail-fast (``--sanitize=strict``) runs. Carries the
+    structured finding so handlers need not re-parse the message:
+
+    Attributes:
+        rule: Violation rule id (e.g. ``read-before-signal``).
+        addr: Byte address of the violating cache line, when known.
+        agents: Names of the agents involved.
+        sim_time: Simulated nanoseconds at the violation.
+    """
+
+    def __init__(self, message, rule=None, addr=None, agents=(), sim_time=None):
+        super().__init__(message)
+        self.rule = rule
+        self.addr = addr
+        self.agents = tuple(agents)
+        self.sim_time = sim_time
+
+
+class LintError(CheckError):
+    """The static lint pass was misconfigured or could not run."""

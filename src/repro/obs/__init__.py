@@ -68,11 +68,15 @@ from repro.obs.waterfall import STAGES, PacketWaterfall, WaterfallStats
 from repro.obs.export import (
     export_chrome_trace,
     export_flight_json,
+    export_lint_json,
     export_metrics_csv,
     export_metrics_json,
+    export_sanitize_json,
     load_flight_json,
+    load_lint_json,
     load_metrics_csv,
     load_metrics_json,
+    load_sanitize_json,
     metrics_rows,
 )
 from repro.obs.wire import instrument_all
@@ -102,11 +106,15 @@ __all__ = [
     "detach_flight",
     "export_chrome_trace",
     "export_flight_json",
+    "export_lint_json",
     "export_metrics_csv",
     "export_metrics_json",
+    "export_sanitize_json",
     "instrument_all",
     "load_flight_json",
+    "load_lint_json",
     "load_metrics_csv",
     "load_metrics_json",
+    "load_sanitize_json",
     "metrics_rows",
 ]

@@ -18,6 +18,10 @@ METRICS_SCHEMA = "repro.obs/metrics-v1"
 
 FLIGHT_SCHEMA = "repro.obs/flight-v1"
 
+SANITIZE_SCHEMA = "repro.check/sanitize-v1"
+
+LINT_SCHEMA = "repro.check/lint-v1"
+
 
 def metrics_rows(registry) -> List[Tuple[str, str, float]]:
     """Flatten a registry snapshot into sorted (component, metric, value) rows."""
@@ -43,7 +47,9 @@ def load_metrics_json(path: str) -> Dict[str, Dict[str, float]]:
     with open(path) as fh:
         doc = json.load(fh)
     if doc.get("schema") != METRICS_SCHEMA:
-        raise ValueError(f"not a metrics export: {path} (schema={doc.get('schema')!r})")
+        raise ValueError(  # repro: allow(error-taxonomy) loader contract: stdlib ValueError
+            f"not a metrics export: {path} (schema={doc.get('schema')!r})"
+        )
     return doc["metrics"]
 
 
@@ -63,7 +69,9 @@ def load_metrics_csv(path: str) -> Dict[str, Dict[str, float]]:
     with open(path, newline="") as fh:
         reader = csv.DictReader(fh)
         if reader.fieldnames != ["component", "metric", "value"]:
-            raise ValueError(f"not a metrics CSV: {path} (header={reader.fieldnames})")
+            raise ValueError(  # repro: allow(error-taxonomy) loader contract: stdlib ValueError
+                f"not a metrics CSV: {path} (header={reader.fieldnames})"
+            )
         for row in reader:
             out.setdefault(row["component"], {})[row["metric"]] = float(row["value"])
     return out
@@ -77,7 +85,7 @@ def export_flight_json(report: Dict[str, Any], path: str) -> Dict[str, Any]:
     here so hand-built dicts cannot silently produce unloadable files.
     """
     if report.get("schema") != FLIGHT_SCHEMA:
-        raise ValueError(
+        raise ValueError(  # repro: allow(error-taxonomy) loader contract: stdlib ValueError
             f"flight report missing schema stamp (got {report.get('schema')!r})"
         )
     with open(path, "w") as fh:
@@ -91,8 +99,52 @@ def load_flight_json(path: str) -> Dict[str, Any]:
     with open(path) as fh:
         doc = json.load(fh)
     if doc.get("schema") != FLIGHT_SCHEMA:
-        raise ValueError(f"not a flight report: {path} (schema={doc.get('schema')!r})")
+        raise ValueError(  # repro: allow(error-taxonomy) loader contract: stdlib ValueError
+            f"not a flight report: {path} (schema={doc.get('schema')!r})"
+        )
     return doc
+
+
+def _export_stamped_json(report: Dict[str, Any], path: str, schema: str, what: str) -> Dict[str, Any]:
+    """Write an already-schema-stamped report; reject hand-built dicts."""
+    if report.get("schema") != schema:
+        raise ValueError(  # repro: allow(error-taxonomy) loader contract mirrors load_flight_json
+            f"{what} report missing schema stamp (got {report.get('schema')!r})"
+        )
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return report
+
+
+def _load_stamped_json(path: str, schema: str, what: str) -> Dict[str, Any]:
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != schema:
+        raise ValueError(  # repro: allow(error-taxonomy) loader contract mirrors load_flight_json
+            f"not a {what} report: {path} (schema={doc.get('schema')!r})"
+        )
+    return doc
+
+
+def export_sanitize_json(report: Dict[str, Any], path: str) -> Dict[str, Any]:
+    """Write a sanitizer report (from ``Sanitizer.report``) as JSON."""
+    return _export_stamped_json(report, path, SANITIZE_SCHEMA, "sanitizer")
+
+
+def load_sanitize_json(path: str) -> Dict[str, Any]:
+    """Read a sanitizer report back; rejects foreign schemas."""
+    return _load_stamped_json(path, SANITIZE_SCHEMA, "sanitizer")
+
+
+def export_lint_json(report: Dict[str, Any], path: str) -> Dict[str, Any]:
+    """Write a lint report (from ``LintReport.as_report``) as JSON."""
+    return _export_stamped_json(report, path, LINT_SCHEMA, "lint")
+
+
+def load_lint_json(path: str) -> Dict[str, Any]:
+    """Read a lint report back; rejects foreign schemas."""
+    return _load_stamped_json(path, LINT_SCHEMA, "lint")
 
 
 def export_chrome_trace(tracer, path: str, flight=None) -> int:

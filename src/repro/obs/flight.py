@@ -32,6 +32,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from repro.errors import ConfigError
 from repro.obs.waterfall import WaterfallStats, build_waterfall
 
 #: Region classes the thrash table is keyed by. The report enumerates
@@ -179,9 +180,9 @@ class FlightRecorder:
         keep_waterfalls: int = 32,
     ) -> None:
         if line_capacity <= 0:
-            raise ValueError(f"line_capacity must be positive, got {line_capacity}")
+            raise ConfigError(f"line_capacity must be positive, got {line_capacity}")
         if sample_every <= 0:
-            raise ValueError(f"sample_every must be positive, got {sample_every}")
+            raise ConfigError(f"sample_every must be positive, got {sample_every}")
         self.sample_every = sample_every
         self.max_packets = max_packets
         # Raw line-event ring: (ts, line, socket, write, kind, latency).

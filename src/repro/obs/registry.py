@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.errors import ConfigError
 from repro.sim.stats import Counter, Histogram
 
 
@@ -49,7 +50,7 @@ class CounterMetric:
     def inc(self, amount: float = 1.0) -> None:
         """Increment by ``amount`` (must be non-negative)."""
         if amount < 0:
-            raise ValueError(f"counter increments must be >= 0, got {amount}")
+            raise ConfigError(f"counter increments must be >= 0, got {amount}")
         self.cell[0] += amount
 
     @property
@@ -189,7 +190,7 @@ class MetricRegistry:
         existing = self._metrics.get(key)
         if existing is not None:
             if not isinstance(existing, GaugeMetric):
-                raise ValueError(f"metric {component}.{name} is {type(existing).__name__}")
+                raise ConfigError(f"metric {component}.{name} is {type(existing).__name__}")
             if fn is not None:
                 existing.fn = fn
             return existing
@@ -231,7 +232,7 @@ class MetricRegistry:
         existing = self._metrics.get(key)
         if existing is not None:
             if not isinstance(existing, cls):
-                raise ValueError(f"metric {component}.{name} is {type(existing).__name__}")
+                raise ConfigError(f"metric {component}.{name} is {type(existing).__name__}")
             return existing
         metric = cls(component, name)
         self._metrics[key] = metric

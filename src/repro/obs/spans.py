@@ -25,6 +25,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, Iterator, List, Optional
 
+from repro.errors import ConfigError
+
 
 @dataclass
 class Span:
@@ -65,7 +67,7 @@ class SpanTracer:
 
     def __init__(self, capacity: int = 200_000) -> None:
         if capacity <= 0:
-            raise ValueError("capacity must be positive")
+            raise ConfigError("capacity must be positive")
         self.capacity = capacity
         self._spans: Deque[Span] = deque(maxlen=capacity)
         self._stack: List[Span] = []

@@ -74,7 +74,9 @@ class CalendarQueue:
     def pop(self) -> list:
         """Remove and return the globally earliest record."""
         if not self._len:
-            raise IndexError("pop from empty CalendarQueue")
+            raise IndexError(  # repro: allow(error-taxonomy) container contract mirrors list.pop
+                "pop from empty CalendarQueue"
+            )
         nb = self._nb
         width = self._width
         buckets = self._buckets

@@ -10,6 +10,8 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Optional
 
+from repro.errors import ConfigError
+
 
 class Counter:
     """A named bag of monotonically increasing counters.
@@ -29,7 +31,7 @@ class Counter:
     def add(self, name: str, amount: float = 1.0) -> None:
         """Increment ``name`` by ``amount`` (must be non-negative)."""
         if amount < 0:
-            raise ValueError(f"counter increments must be >= 0, got {amount}")
+            raise ConfigError(f"counter increments must be >= 0, got {amount}")
         cell = self._cells.get(name)
         if cell is None:
             self._cells[name] = [0.0 + amount]
@@ -121,7 +123,7 @@ class Histogram:
         if not self._samples:
             return math.nan
         if not 0.0 <= pct <= 100.0:
-            raise ValueError(f"percentile out of range: {pct}")
+            raise ConfigError(f"percentile out of range: {pct}")
         if self._sorted is None:
             self._sorted = sorted(self._samples)
         data = self._sorted

@@ -28,6 +28,7 @@ import contextlib
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List
 
+from repro.errors import ConfigError
 from repro.obs.spans import SpanTracer
 
 
@@ -49,7 +50,7 @@ class Tracer:
 
     def __init__(self, capacity: int = 100_000) -> None:
         if capacity <= 0:
-            raise ValueError("capacity must be positive")
+            raise ConfigError("capacity must be positive")
         self.capacity = capacity
         # The single tracing spine: events live as instant spans, so
         # capacity bounding and drop counting are SpanTracer's.

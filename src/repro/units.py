@@ -16,6 +16,8 @@ US = 1_000.0
 MS = 1_000_000.0
 S = 1_000_000_000.0
 
+from repro.errors import ConfigError
+
 CACHE_LINE = 64
 
 
@@ -51,14 +53,14 @@ def gbps(byte_count: float, elapsed_ns: float) -> float:
 def align_up(value: int, alignment: int) -> int:
     """Round ``value`` up to the next multiple of ``alignment``."""
     if alignment <= 0:
-        raise ValueError("alignment must be positive")
+        raise ConfigError("alignment must be positive")
     return (value + alignment - 1) // alignment * alignment
 
 
 def align_down(value: int, alignment: int) -> int:
     """Round ``value`` down to a multiple of ``alignment``."""
     if alignment <= 0:
-        raise ValueError("alignment must be positive")
+        raise ConfigError("alignment must be positive")
     return value // alignment * alignment
 
 

@@ -11,16 +11,42 @@ class TestErrorHierarchy:
     def test_all_derive_from_base(self):
         for name in ("SimulationError", "MemoryError_", "CoherenceError",
                      "InterconnectError", "NicError", "PoolError",
-                     "ConfigError", "WorkloadError"):
+                     "ConfigError", "WorkloadError", "CheckError",
+                     "SanitizerError", "LintError"):
             cls = getattr(errors, name)
             assert issubclass(cls, errors.ReproError)
 
     def test_pool_error_is_nic_error(self):
         assert issubclass(errors.PoolError, errors.NicError)
 
+    def test_check_errors_are_check_errors(self):
+        assert issubclass(errors.SanitizerError, errors.CheckError)
+        assert issubclass(errors.LintError, errors.CheckError)
+
+    def test_config_error_still_a_value_error(self):
+        # Pre-taxonomy call sites (and their tests) catch ValueError.
+        assert issubclass(errors.ConfigError, ValueError)
+
     def test_catchable_at_base(self):
         with pytest.raises(errors.ReproError):
             raise errors.PoolError("boom")
+
+    def test_sanitizer_error_structured_attrs(self):
+        exc = errors.SanitizerError(
+            "double reap", rule="double-reap", addr=0x1000,
+            agents=("nic-q0", "host-q0"), sim_time=12.5,
+        )
+        assert exc.rule == "double-reap"
+        assert exc.addr == 0x1000
+        assert exc.agents == ("nic-q0", "host-q0")
+        assert exc.sim_time == 12.5
+
+    def test_sanitizer_error_defaults(self):
+        exc = errors.SanitizerError("bare")
+        assert exc.rule is None
+        assert exc.addr is None
+        assert exc.agents == ()
+        assert exc.sim_time is None
 
 
 class TestCcnicConfig:
