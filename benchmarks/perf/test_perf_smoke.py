@@ -46,3 +46,32 @@ def test_check_regression_flags_slowdowns_and_divergence():
         }
     }
     assert perf.check_regression(ok, baseline, tolerance=0.30) == []
+
+
+def test_quick_sharded_run_matches_single_process():
+    doc = perf.run_suite(
+        ["loopback_64b"], quick=True, compare=("loopback_64b",), shards=2
+    )
+    entry = doc["scenarios"]["loopback_64b"]
+    assert doc["shards"] == 2
+    assert entry["n_shards"] == 8  # partition is fixed by the scenario
+    assert entry["deterministic"] is True
+    assert entry["single_process"]["fingerprint"] == entry["fingerprint"]
+    baseline = perf.load_baseline()
+    assert baseline is not None
+    assert perf.check_regression(doc, baseline) == []
+
+
+def test_check_regression_prefers_sharded_floor():
+    baseline = {
+        "scenarios": {
+            "loopback_64b": {
+                "events_per_sec": 1000.0,
+                "sharded": {"events_per_sec": 400.0},
+            }
+        }
+    }
+    sharded = {"shards": 2, "scenarios": {"loopback_64b": {"events_per_sec": 350.0}}}
+    assert perf.check_regression(sharded, baseline, tolerance=0.30) == []
+    single = {"shards": 1, "scenarios": {"loopback_64b": {"events_per_sec": 350.0}}}
+    assert len(perf.check_regression(single, baseline, tolerance=0.30)) == 1

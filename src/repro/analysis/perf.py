@@ -3,20 +3,26 @@
 Every figure reproduction funnels through the same hot paths — the
 event loop in :mod:`repro.sim.engine`, protocol cost resolution in
 :mod:`repro.coherence.fabric`, and link/telemetry accounting — so the
-repo benchmarks *itself*: ``python -m repro perf`` runs the canonical
-scenarios below, reports wall-clock seconds, **events per second** and
-peak RSS, and writes the trajectory document ``BENCH_sim_perf.json``
-at the repo root.
+repo benchmarks *itself*: ``python -m repro perf`` runs the registered
+scenarios, reports wall-clock seconds, **events per second** and peak
+RSS, and writes the trajectory document ``BENCH_sim_perf.json`` at the
+repo root.
 
-Each scenario also produces a deterministic *fingerprint* — a hash of
-the run's end-to-end metrics (packet counts, latency percentiles,
-coherence-transaction counters, per-direction link statistics, event
-count and final simulated time). Running a scenario with
-``REPRO_SIM_SLOWPATH=1`` disables every fast path (engine event-record
-reuse and calendar queue, fabric cost-plan memoization, link pair
-batching) and must yield the *same fingerprint*: the optimizations are
-behavior-preserving by construction, and the harness proves it on
-every comparison run.
+Scenarios are no longer hardcoded here: they are
+:class:`~repro.shard.ScenarioSpec` entries in the
+:mod:`repro.shard.spec` registry, so ``--scenario`` accepts anything
+registered — including user scenarios pulled in with ``--register``.
+Each scenario is a fixed partition of per-queue-pair shards;
+``run_scenario(..., workers=n)`` executes that partition across ``n``
+processes. The merged metric *fingerprint* — a hash over every shard's
+end-to-end metrics plus the merged reduction — is invariant under the
+worker count, and the harness proves it on every ``--shards`` run by
+re-running the partition single-process and comparing.
+
+Running a scenario with ``REPRO_SIM_SLOWPATH=1`` disables every fast
+path (engine event-record reuse and calendar queue, fabric cost-plan
+memoization, link pair batching) and must also yield the same
+fingerprint: the optimizations are behavior-preserving by construction.
 
 The committed floor in ``benchmarks/perf/baseline.json`` is what CI's
 perf-smoke job regresses against (see :func:`check_regression`).
@@ -24,54 +30,39 @@ perf-smoke job regresses against (see :func:`check_regression`).
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import platform
 import resource
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.analysis.loopback import InterfaceKind, build_interface, run_point
-from repro.core.recovery import RecoveryPolicy
-from repro.errors import ConfigError, SimulationError
-from repro.faults import FaultInjector, FaultPlan
-from repro.platform import icx
+from repro.errors import SimulationError
+from repro.shard import run_sharded, scenario, scenario_names
+from repro.shard.merge import fingerprint as _merged_fingerprint
 
 #: Escape hatch read by every layer's fast path (one Simulator at a time).
 SLOWPATH_ENV = "REPRO_SIM_SLOWPATH"
 #: Schema version of the BENCH document.
-BENCH_SCHEMA = 1
+BENCH_SCHEMA = 2
 #: Default output path, relative to the invoking directory (repo root).
 DEFAULT_BENCH_PATH = "BENCH_sim_perf.json"
 #: Committed events/sec floor used by the CI perf-smoke job.
 DEFAULT_BASELINE_PATH = os.path.join("benchmarks", "perf", "baseline.json")
 
 
+def _fingerprint(snapshot: Dict) -> str:
+    """Stable short hash of a run's end-to-end metric snapshot."""
+    return _merged_fingerprint(snapshot)
+
+
 # ----------------------------------------------------------------------
-# Scenario outcomes and measurements
+# Measurement
 # ----------------------------------------------------------------------
-@dataclass
-class ScenarioOutcome:
-    """What one scenario run returns to the measurement wrapper.
-
-    ``wall_s`` is measured *inside* the runner, around the simulation
-    run only — events/sec is a simulator-throughput metric, so system
-    construction (region allocation, plan tables, ring setup) stays
-    outside the timed window.
-    """
-
-    wall_s: float
-    events: int
-    sim_ns: float
-    snapshot: Dict
-    extra: Dict[str, float] = field(default_factory=dict)
-
-
 @dataclass
 class PerfMeasurement:
-    """One timed scenario run (fast path or slow path)."""
+    """One timed scenario run (fast path, slow path, or parallel)."""
 
     scenario: str
     wall_s: float
@@ -82,6 +73,8 @@ class PerfMeasurement:
     fingerprint: str
     extra: Dict[str, float]
     slowpath: bool
+    n_shards: int = 1
+    workers: int = 1
 
     def to_doc(self) -> Dict:
         return {
@@ -91,196 +84,73 @@ class PerfMeasurement:
             "sim_ns": self.sim_ns,
             "peak_rss_kb": self.peak_rss_kb,
             "fingerprint": self.fingerprint,
+            "n_shards": self.n_shards,
+            "workers": self.workers,
             "extra": self.extra,
         }
 
 
-def _fingerprint(snapshot: Dict) -> str:
-    """Stable short hash of a run's end-to-end metric snapshot."""
-    blob = json.dumps(snapshot, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+def _peak_rss_kb() -> int:
+    """Peak RSS over this process and any reaped shard workers."""
+    own = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    children = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return int(max(own, children))
 
 
-def _system_snapshot(system) -> Dict:
-    """The simulation-state half of every scenario fingerprint."""
-    return {
-        "counters": system.fabric.snapshot_counters(),
-        "events": system.sim.events_executed,
-        "now": system.sim.now,
-        "link": [
-            {
-                "messages": st.messages,
-                "payload": st.payload_bytes,
-                "wire": st.wire_bytes,
-                "busy": st.busy_ns,
-                "by_class": st.by_class,
-                "wire_by_class": st.wire_by_class,
-            }
-            for st in system.link.stats
-        ],
-    }
-
-
-# ----------------------------------------------------------------------
-# Scenarios
-# ----------------------------------------------------------------------
-def _run_loopback_64b(quick: bool) -> ScenarioOutcome:
-    """Closed-loop 64B CC-NIC loopback — the headline scenario."""
-    n_packets = 4000 if quick else 50000
-    setup = build_interface(icx(), InterfaceKind.CCNIC)
-    start = time.perf_counter()  # repro: allow(wall-clock) host benchmark timing
-    result = run_point(setup, pkt_size=64, n_packets=n_packets, inflight=64)
-    wall = time.perf_counter() - start  # repro: allow(wall-clock) host benchmark timing
-    system = setup.system
-    snapshot = {
-        "received": result.received,
-        "dropped": result.dropped,
-        "mpps": result.mpps,
-        "median_ns": result.latency.percentile(50),
-        "p99_ns": result.latency.percentile(99),
-        **_system_snapshot(system),
-    }
-    return ScenarioOutcome(
-        wall_s=wall,
-        events=system.sim.events_executed,
-        sim_ns=system.sim.now,
-        snapshot=snapshot,
-        extra={"packets": float(result.received), "mpps": result.mpps},
-    )
-
-
-def _run_kv_zipf(quick: bool) -> ScenarioOutcome:
-    """KV server thread under the Zipf-skewed Ads object distribution."""
-    from repro.apps.kvstore import KvServerApp, KvWorkload
-
-    n_ops = 120 if quick else 500
-    setup = build_interface(icx(), InterfaceKind.CCNIC)
-    app = KvServerApp(setup, KvWorkload.ads(), offered_mops=50.0, n_ops=n_ops)
-    start = time.perf_counter()  # repro: allow(wall-clock) host benchmark timing
-    result = app.run()
-    wall = time.perf_counter() - start  # repro: allow(wall-clock) host benchmark timing
-    system = setup.system
-    snapshot = {
-        "ops": result.ops,
-        "mops": result.mops,
-        "median_ns": result.latency.percentile(50),
-        "p99_ns": result.latency.percentile(99),
-        **_system_snapshot(system),
-    }
-    return ScenarioOutcome(
-        wall_s=wall,
-        events=system.sim.events_executed,
-        sim_ns=system.sim.now,
-        snapshot=snapshot,
-        extra={"ops": float(result.ops), "mops": result.mops},
-    )
-
-
-def _run_faults_canned(quick: bool) -> ScenarioOutcome:
-    """Loopback under the canned fault plan with data-plane recovery.
-
-    With an injector attached the fabric and link fall back to their
-    reference implementations, so this scenario exercises the *engine*
-    fast path (event-record reuse, calendar queue) under the most
-    irregular event pattern the repo produces.
-    """
-    n_packets = 1200 if quick else 6000
-    faults = FaultInjector(FaultPlan.canned(), seed=7)
-    setup = build_interface(icx(), InterfaceKind.CCNIC, faults=faults)
-    start = time.perf_counter()  # repro: allow(wall-clock) host benchmark timing
-    result = run_point(
-        setup,
-        pkt_size=256,
-        n_packets=n_packets,
-        inflight=64,
-        recovery=RecoveryPolicy(),
-    )
-    wall = time.perf_counter() - start  # repro: allow(wall-clock) host benchmark timing
-    system = setup.system
-    snapshot = {
-        "received": result.received,
-        "dropped": result.dropped,
-        "mpps": result.mpps,
-        "median_ns": result.latency.percentile(50),
-        "faults": faults.counters.snapshot(),
-        "injected": faults.total_injected(),
-        "tx_retries": setup.driver.tx_retries,
-        "watchdog_resets": setup.driver.watchdog_resets,
-        **_system_snapshot(system),
-    }
-    return ScenarioOutcome(
-        wall_s=wall,
-        events=system.sim.events_executed,
-        sim_ns=system.sim.now,
-        snapshot=snapshot,
-        extra={
-            "packets": float(result.received),
-            "dropped": float(result.dropped),
-            "injected": float(faults.total_injected()),
-        },
-    )
-
-
-#: name -> (description, runner)
-SCENARIOS: Dict[str, tuple] = {
-    "loopback_64b": ("closed-loop 64B CC-NIC loopback", _run_loopback_64b),
-    "kv_zipf": ("KV server thread, Zipf Ads objects", _run_kv_zipf),
-    "faults_canned": ("canned fault plan + recovery", _run_faults_canned),
-}
-
-
-# ----------------------------------------------------------------------
-# Measurement
-# ----------------------------------------------------------------------
 def run_scenario(
-    name: str, quick: bool = False, slowpath: bool = False, repeat: int = 1
+    name: str,
+    quick: bool = False,
+    slowpath: bool = False,
+    repeat: int = 1,
+    workers: int = 1,
 ) -> PerfMeasurement:
     """Time one scenario; ``slowpath`` runs it with every fast path off.
 
-    ``repeat`` reruns the scenario and keeps the *minimum* wall time
-    (the standard way to strip scheduler noise from a wall-clock
-    benchmark). Every repeat must reproduce the same fingerprint — a
-    divergence means the simulation itself is nondeterministic, which
-    no amount of timing tolerance should paper over.
+    The scenario's fixed shard partition executes on ``workers``
+    processes (1 = sequential in this process — the baseline every
+    parallel run must reproduce bit-identically). ``repeat`` reruns the
+    scenario and keeps the *minimum* wall time (the standard way to
+    strip scheduler noise from a wall-clock benchmark). Every repeat
+    must reproduce the same merged document — a divergence means the
+    simulation itself is nondeterministic, which no amount of timing
+    tolerance should paper over.
     """
-    try:
-        _desc, runner = SCENARIOS[name]
-    except KeyError:
-        raise ConfigError(
-            f"unknown scenario {name!r} (choose from {', '.join(SCENARIOS)})"
-        )
+    spec = scenario(name)
     prev = os.environ.get(SLOWPATH_ENV)
     if slowpath:
+        # Workers inherit the environment at fork/spawn time, so the
+        # toggle reaches every shard process too.
         os.environ[SLOWPATH_ENV] = "1"
     else:
         os.environ.pop(SLOWPATH_ENV, None)
     try:
         wall = None
-        outcome = None
+        run = None
         for _ in range(max(1, repeat)):
-            this = runner(quick)
-            if outcome is not None and this.snapshot != outcome.snapshot:
+            this = run_sharded(spec, workers=workers, quick=quick)
+            if run is not None and this.doc != run.doc:
                 raise SimulationError(
                     f"scenario {name!r} is nondeterministic across repeats"
                 )
-            outcome = this
+            run = this
             wall = this.wall_s if wall is None else min(wall, this.wall_s)
     finally:
         if prev is None:
             os.environ.pop(SLOWPATH_ENV, None)
         else:
             os.environ[SLOWPATH_ENV] = prev
-    rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     return PerfMeasurement(
         scenario=name,
         wall_s=wall,
-        events=outcome.events,
-        events_per_sec=outcome.events / wall if wall > 0 else 0.0,
-        sim_ns=outcome.sim_ns,
-        peak_rss_kb=int(rss_kb),
-        fingerprint=_fingerprint(outcome.snapshot),
-        extra=outcome.extra,
+        events=run.events,
+        events_per_sec=run.events / wall if wall > 0 else 0.0,
+        sim_ns=run.sim_ns,
+        peak_rss_kb=_peak_rss_kb(),
+        fingerprint=run.fingerprint,
+        extra=run.extra,
         slowpath=slowpath,
+        n_shards=run.n_shards,
+        workers=run.workers,
     )
 
 
@@ -290,14 +160,21 @@ def run_suite(
     compare: Sequence[str] = ("loopback_64b",),
     repeat: int = 1,
     progress: Optional[Callable[[str], None]] = None,
+    shards: Optional[int] = None,
 ) -> Dict:
     """Run the suite; returns the ``BENCH_sim_perf.json`` document.
 
-    Scenarios named in ``compare`` run a second time with
-    ``REPRO_SIM_SLOWPATH=1`` to record the fast/slow speedup and check
-    that both paths produced identical fingerprints.
+    In the default single-process mode, scenarios named in ``compare``
+    run a second time with ``REPRO_SIM_SLOWPATH=1`` to record the
+    fast/slow speedup and check that both paths produced identical
+    fingerprints. With ``shards`` set (> 1 worker processes), the
+    comparison changes meaning: ``compare`` scenarios re-run the same
+    partition single-process and the gate becomes *parallel vs
+    sequential* — same merged fingerprint, speedup = parallel
+    events/sec over sequential.
     """
-    names = list(scenarios) if scenarios else list(SCENARIOS)
+    names = list(scenarios) if scenarios else scenario_names()
+    workers = 1 if shards is None else max(1, shards)
     doc: Dict = {
         "bench": "sim_perf",
         "schema": BENCH_SCHEMA,
@@ -308,22 +185,38 @@ def run_suite(
         "generated_unix": int(time.time()),  # repro: allow(wall-clock) report timestamp
         "scenarios": {},
     }
+    if shards is not None:
+        doc["shards"] = workers
     for name in names:
         if progress is not None:
             progress(f"running {name}{' (quick)' if quick else ''} ...")
-        fast = run_scenario(name, quick=quick, repeat=repeat)
+        fast = run_scenario(name, quick=quick, repeat=repeat, workers=workers)
         entry = fast.to_doc()
         if name in compare:
-            if progress is not None:
-                progress(f"running {name} with {SLOWPATH_ENV}=1 ...")
-            slow = run_scenario(name, quick=quick, slowpath=True, repeat=repeat)
-            entry["slowpath"] = slow.to_doc()
-            entry["speedup"] = (
-                round(fast.events_per_sec / slow.events_per_sec, 2)
-                if slow.events_per_sec > 0
-                else None
-            )
-            entry["deterministic"] = fast.fingerprint == slow.fingerprint
+            if workers > 1:
+                if progress is not None:
+                    progress(f"running {name} single-process for comparison ...")
+                single = run_scenario(name, quick=quick, repeat=repeat, workers=1)
+                entry["single_process"] = single.to_doc()
+                entry["speedup"] = (
+                    round(fast.events_per_sec / single.events_per_sec, 2)
+                    if single.events_per_sec > 0
+                    else None
+                )
+                entry["deterministic"] = fast.fingerprint == single.fingerprint
+            else:
+                if progress is not None:
+                    progress(f"running {name} with {SLOWPATH_ENV}=1 ...")
+                slow = run_scenario(
+                    name, quick=quick, slowpath=True, repeat=repeat, workers=workers
+                )
+                entry["slowpath"] = slow.to_doc()
+                entry["speedup"] = (
+                    round(fast.events_per_sec / slow.events_per_sec, 2)
+                    if slow.events_per_sec > 0
+                    else None
+                )
+                entry["deterministic"] = fast.fingerprint == slow.fingerprint
         doc["scenarios"][name] = entry
     return doc
 
@@ -353,30 +246,42 @@ def check_regression(
     """Compare a BENCH document against the committed baseline.
 
     Returns one message per failure: an events/sec figure more than
-    ``tolerance`` below the baseline floor, or a fast/slow comparison
-    whose fingerprints diverged. An empty list means the gate passes.
-    Scenarios present in only one document are skipped (the baseline
-    carries deliberately conservative floors, valid for both ``--quick``
-    and full runs across machine classes).
+    ``tolerance`` below the baseline floor, or a comparison run (fast vs
+    slowpath, or parallel vs single-process) whose fingerprints
+    diverged. An empty list means the gate passes. Scenarios present in
+    only one document are skipped (the baseline carries deliberately
+    conservative floors, valid for both ``--quick`` and full runs across
+    machine classes). A multi-worker document (``doc["shards"] > 1``)
+    is gated against the baseline's nested ``"sharded"`` floor when one
+    is committed, since worker dispatch overhead shifts the achievable
+    rate on small machines.
     """
+    sharded_doc = doc.get("shards", 1) > 1
     failures: List[str] = []
     for name, base in baseline.get("scenarios", {}).items():
         entry = doc["scenarios"].get(name)
         if entry is None:
             continue
-        floor = base.get("events_per_sec", 0.0) * (1.0 - tolerance)
+        base_rate = base.get("events_per_sec", 0.0)
+        if sharded_doc and "sharded" in base:
+            base_rate = base["sharded"].get("events_per_sec", base_rate)
+        floor = base_rate * (1.0 - tolerance)
         got = entry.get("events_per_sec", 0.0)
         if got < floor:
             failures.append(
                 f"{name}: {got:.0f} events/sec is below the regression floor "
-                f"{floor:.0f} (baseline {base['events_per_sec']:.0f} "
-                f"- {tolerance:.0%})"
+                f"{floor:.0f} (baseline {base_rate:.0f} - {tolerance:.0%})"
             )
     for name, entry in doc["scenarios"].items():
         if entry.get("deterministic") is False:
+            other = entry.get("slowpath") or entry.get("single_process") or {}
+            what = (
+                "parallel and single-process"
+                if "single_process" in entry
+                else f"fast and {SLOWPATH_ENV}=1"
+            )
             failures.append(
-                f"{name}: fast and {SLOWPATH_ENV}=1 runs produced different "
-                f"metric fingerprints ({entry['fingerprint']} vs "
-                f"{entry['slowpath']['fingerprint']})"
+                f"{name}: {what} runs produced different metric fingerprints "
+                f"({entry['fingerprint']} vs {other.get('fingerprint', '?')})"
             )
     return failures

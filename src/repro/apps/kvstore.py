@@ -51,13 +51,21 @@ RPC_CYCLES = 420
 
 @dataclass
 class KvWorkload:
-    """Workload parameters (paper defaults)."""
+    """Workload parameters (paper defaults).
+
+    ``key_base`` offsets this server's keys in the global flow space:
+    a sharded deployment gives each queue pair a disjoint key range
+    (flow-steered partitioning), so shard ``i`` of an ``n_keys``-per-
+    shard run serves flows ``[i * n_keys, (i+1) * n_keys)`` and the
+    union of shards covers one large keyspace with no overlap.
+    """
 
     distribution: ObjectSizeDistribution
     get_fraction: float = 0.95
     n_keys: int = 4096          # scaled-down key space; skew via Zipf
     zipf_coefficient: float = 0.75
     seed: int = 7
+    key_base: int = 0
 
     @classmethod
     def ads(cls, **kw) -> "KvWorkload":
@@ -137,13 +145,14 @@ class KvServerApp:
         inject = self._injector()
         while sent < self.n_ops:
             burst = min(self.batch, self.n_ops - sent)
+            key_base = self.workload.key_base
             for _ in range(burst):
                 key = self._keys.sample(self._rng)
                 is_get = self._rng.random() < self.workload.get_fraction
                 size = REQUEST_BYTES if is_get else min(
                     REQUEST_BYTES + self._sizes[key], 9600
                 )
-                pkt = Packet(size=size, tx_ns=sim.now, flow=key)
+                pkt = Packet(size=size, tx_ns=sim.now, flow=key_base + key)
                 pkt.is_get = is_get  # type: ignore[attr-defined]
                 inject(pkt, sim.now)
                 sent += 1
@@ -299,6 +308,7 @@ def kv_thread_study(
     faults=None,
     flight=None,
     sanitizer=None,
+    batch: int = 32,
 ) -> KvStudy:
     """Measure one server thread in detail and compose the curve.
 
@@ -323,7 +333,7 @@ def kv_thread_study(
         from repro.analysis.checks import attach_sanitizer
 
         attach_sanitizer(setup, sanitizer)
-    app = KvServerApp(setup, workload, offered_mops=probe_mops, n_ops=n_ops)
+    app = KvServerApp(setup, workload, offered_mops=probe_mops, n_ops=n_ops, batch=batch)
     app.run()
     # Scale on the application thread's own service rate: under CC-NIC
     # the NIC-socket agents (the overlay threads of §4) absorb the

@@ -238,6 +238,7 @@ def rpc_thread_study(
     faults=None,
     flight=None,
     sanitizer=None,
+    batch: int = 32,
 ) -> RpcStudy:
     """Measure one fast-path thread; compose the thread-count answer.
 
@@ -258,7 +259,9 @@ def rpc_thread_study(
         from repro.analysis.checks import attach_sanitizer
 
         attach_sanitizer(setup, sanitizer)
-    fastpath = TasFastPath(setup, n_flows=n_flows, offered_mops=probe_mops, n_ops=n_ops)
+    fastpath = TasFastPath(
+        setup, n_flows=n_flows, offered_mops=probe_mops, n_ops=n_ops, batch=batch
+    )
     fastpath.run()
     if nic_cap_mops is None:
         # 64B echo RPCs: the CX6 engine moves one request + one response

@@ -282,7 +282,144 @@ def _maybe_trace_fabric(obs: Optional[Observability], fabric):
 
 
 # ----------------------------------------------------------------------
+# Shared run-shape flags (loopback / profile / faults / counters / kv / rpc)
+# ----------------------------------------------------------------------
+def _run_flags(**overrides) -> argparse.ArgumentParser:
+    """The common run-shape flag block, defined once.
+
+    Returned as an argparse *parent* parser: every command that takes a
+    run shape (platform, interface, packet size, counts, queue depth,
+    batch) inherits identical spellings and defaults from here. Per-
+    command defaults are overridden via ``set_defaults`` — argparse
+    gives a parent's ``set_defaults`` precedence over the inherited
+    ``add_argument`` defaults, so e.g. ``faults`` keeps its 256B/6000-
+    packet shape without re-declaring any flag.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--platform", default="icx", choices=["icx", "spr"])
+    parent.add_argument("--interface", default="ccnic",
+                        help="comparison point (ccnic/unopt/e810/cx6)")
+    parent.add_argument("--size", type=int, default=64, metavar="BYTES",
+                        help="packet (or object header) size in bytes")
+    parent.add_argument("--packets", type=int, default=5000, metavar="N",
+                        help="packets (or RPC ops) to run")
+    parent.add_argument("--inflight", type=int, default=64, metavar="N",
+                        help="closed-loop window depth")
+    parent.add_argument("--batch", type=int, default=32, metavar="N",
+                        help="tx/rx burst size")
+    if overrides:
+        parent.set_defaults(**overrides)
+    return parent
+
+
+def _add_shard_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="partition the run into N per-queue-pair shards and execute "
+             "them across worker processes (merged metrics are bit-identical "
+             "for any worker count)",
+    )
+
+
+class _SnapshotRegistry:
+    """Adapter giving a merged snapshot dict the exporter interface."""
+
+    def __init__(self, snapshot: dict) -> None:
+        self._snapshot = snapshot
+
+    def snapshot(self) -> dict:
+        return self._snapshot
+
+
+def _export_merged_metrics(metrics: Optional[dict], args: argparse.Namespace) -> None:
+    """Write a sharded run's merged metric snapshot via the exporters."""
+    if metrics is None or not getattr(args, "metrics_out", None):
+        return
+    view = _SnapshotRegistry(metrics)
+    if args.metrics_out.endswith(".csv"):
+        count = export_metrics_csv(view, args.metrics_out)
+    else:
+        doc = export_metrics_json(view, args.metrics_out)
+        count = sum(len(section) for section in doc["metrics"].values())
+    print(f"wrote {count} merged metrics to {args.metrics_out}")
+
+
+def _reject_with_shards(args: argparse.Namespace, flags: dict) -> None:
+    """Fail fast on per-process flags that cannot cross shard workers."""
+    for flag, (value, default) in flags.items():
+        if value != default:
+            raise SystemExit(f"error: {flag} is not supported with --shards")
+
+
+def _sharded_summary_rows(run) -> list:
+    merged = run.doc["merged"]
+    rows = [
+        ("shards", run.n_shards),
+        ("workers", run.workers),
+        ("lookahead [ns]", run.lookahead_ns),
+        ("events", run.events),
+        ("sim time [ns]", run.sim_ns),
+        ("median latency [ns]", merged.get("median_ns", float("nan"))),
+        ("p99 latency [ns]", merged.get("p99_ns", float("nan"))),
+        ("merged fingerprint", run.fingerprint),
+    ]
+    return rows
+
+
+# ----------------------------------------------------------------------
+def _loopback_sharded(args: argparse.Namespace) -> int:
+    from repro.shard import ScenarioSpec, run_sharded
+
+    _kind(args.interface)  # validate before the spec does
+    _reject_with_shards(args, {
+        "--same-socket": (args.same_socket, False),
+        "--latency-factor": (args.latency_factor, 1.0),
+        "--bandwidth-factor": (args.bandwidth_factor, 1.0),
+        "--trace-out": (args.trace_out, None),
+        "--flight-out": (args.flight_out, None),
+        "--sanitize": (args.sanitize, None),
+        "--sanitize-out": (args.sanitize_out, None),
+    })
+    _check_writable(args.metrics_out)
+    spec = ScenarioSpec(
+        name=f"loopback_cli_{args.size}b",
+        workload="loopback",
+        platform=args.platform,
+        interface=args.interface,
+        pkt_size=args.size,
+        n_packets=args.packets,
+        inflight=None if args.rate else args.inflight,
+        offered_mpps=args.rate,
+        tx_batch=args.batch,
+        rx_batch=args.batch,
+        fault_plan=args.fault_plan,
+        fault_seed=args.fault_seed,
+        shards=args.shards,
+    ).validate()
+    run = run_sharded(
+        spec, with_metrics=args.metrics_out is not None, progress=print
+    )
+    merged = run.doc["merged"]
+    rows = [
+        ("received packets", merged["received"]),
+        ("dropped packets", merged["dropped"]),
+        ("throughput [Mpps]", merged["mpps"]),
+    ] + _sharded_summary_rows(run)
+    if args.fault_plan is not None:
+        rows.append(("faults injected", merged.get("injected", 0)))
+    print(format_table(
+        ["Metric", "Value"],
+        rows,
+        title=f"{args.interface} sharded loopback, {args.size}B packets "
+              f"on {args.platform}",
+    ))
+    _export_merged_metrics(run.metrics, args)
+    return 0
+
+
 def cmd_loopback(args: argparse.Namespace) -> int:
+    if args.shards is not None and args.shards > 1:
+        return _loopback_sharded(args)
     spec = _platform(args.platform)
     kind = _kind(args.interface)
     obs = _make_obs(args)
@@ -446,8 +583,8 @@ def cmd_counters(args: argparse.Namespace) -> int:
     obs = _make_obs(args, force_metrics=True)
     setup = build_interface(spec, kind, obs=obs)
     with _maybe_trace_fabric(obs, setup.system.fabric):
-        result = run_point(setup, 64, args.packets, inflight=128,
-                           tx_batch=32, rx_batch=32, obs=obs)
+        result = run_point(setup, args.size, args.packets, inflight=args.inflight,
+                           tx_batch=args.batch, rx_batch=args.batch, obs=obs)
     counters = obs.metrics.snapshot().get("fabric", {})
     nic = setup.system.nic_socket
     rows = [
@@ -458,13 +595,69 @@ def cmd_counters(args: argparse.Namespace) -> int:
     print(format_table(
         ["NIC-socket transaction", "per packet"],
         rows,
-        title=f"{kind.value} batched 64B loopback ({result.received} packets)",
+        title=f"{kind.value} batched {args.size}B loopback "
+              f"({result.received} packets)",
     ))
     _export_obs(obs, args)
     return 0
 
 
+def _kv_sharded(args: argparse.Namespace) -> int:
+    from repro.shard import ScenarioSpec, run_sharded
+
+    if args.interface == "both":
+        raise SystemExit(
+            "error: --shards runs one comparison point; pick --interface "
+            "ccnic/unopt/e810/cx6"
+        )
+    _kind(args.interface)
+    _reject_with_shards(args, {
+        "--trace-out": (args.trace_out, None),
+        "--flight-out": (args.flight_out, None),
+        "--sanitize": (args.sanitize, None),
+        "--sanitize-out": (args.sanitize_out, None),
+    })
+    _check_writable(args.metrics_out)
+    spec = ScenarioSpec(
+        name=f"kv_cli_{args.distribution}",
+        workload="kv",
+        platform=args.platform,
+        interface=args.interface,
+        distribution=args.distribution,
+        n_ops=args.packets,
+        tx_batch=args.batch,
+        fault_plan=args.fault_plan,
+        fault_seed=args.fault_seed,
+        shards=args.shards,
+    ).validate()
+    run = run_sharded(
+        spec, with_metrics=args.metrics_out is not None, progress=print
+    )
+    merged = run.doc["merged"]
+    rows = [
+        ("completed ops", merged["ops"]),
+        ("throughput [Mops]", merged["mops"]),
+    ] + _sharded_summary_rows(run)
+    print(format_table(
+        ["Metric", "Value"],
+        rows,
+        title=f"{args.interface} sharded KV store ({args.distribution}) "
+              f"on {args.platform}",
+    ))
+    _export_merged_metrics(run.metrics, args)
+    return 0
+
+
+def _study_kinds(args: argparse.Namespace) -> tuple:
+    """Comparison points a thread study runs, per ``--interface``."""
+    if args.interface == "both":
+        return (InterfaceKind.CX6, InterfaceKind.CCNIC)
+    return (_kind(args.interface),)
+
+
 def cmd_kv(args: argparse.Namespace) -> int:
+    if args.shards is not None and args.shards > 1:
+        return _kv_sharded(args)
     from repro.apps.kvstore import KvWorkload, kv_thread_study
 
     spec = _platform(args.platform)
@@ -473,12 +666,12 @@ def cmd_kv(args: argparse.Namespace) -> int:
     flight = _make_flight(args)
     sanitizer = _make_sanitizer(args)
     sanitize_config = {
-        "command": "kv", "platform": spec.name, "interface": "ccnic",
-        "distribution": args.distribution, "n_ops": args.ops,
+        "command": "kv", "platform": spec.name, "interface": args.interface,
+        "distribution": args.distribution, "n_ops": args.packets,
         "mode": getattr(args, "sanitize", None) or "on",
     }
     rows = []
-    for kind in (InterfaceKind.CX6, InterfaceKind.CCNIC):
+    for kind in _study_kinds(args):
         # Fresh injector per comparison point: one-shot NIC events and
         # the RNG stream must not be shared between the two systems.
         faults, _recovery = _make_faults(args)
@@ -487,7 +680,8 @@ def cmd_kv(args: argparse.Namespace) -> int:
         # the thrash table and the happens-before state.
         try:
             study = kv_thread_study(
-                spec, kind, workload, n_ops=args.ops, obs=obs, faults=faults,
+                spec, kind, workload, n_ops=args.packets, batch=args.batch,
+                obs=obs, faults=faults,
                 flight=flight if kind.is_coherent else None,
                 sanitizer=sanitizer if kind.is_coherent else None,
             )
@@ -504,8 +698,8 @@ def cmd_kv(args: argparse.Namespace) -> int:
     ))
     _export_obs(obs, args, flight=flight)
     _export_flight(flight, args, config={
-        "command": "kv", "platform": spec.name, "interface": "ccnic",
-        "distribution": args.distribution, "n_ops": args.ops,
+        "command": "kv", "platform": spec.name, "interface": args.interface,
+        "distribution": args.distribution, "n_ops": args.packets,
     })
     return _report_sanitizer(sanitizer, args, sanitize_config)
 
@@ -518,16 +712,17 @@ def cmd_rpc(args: argparse.Namespace) -> int:
     flight = _make_flight(args)
     sanitizer = _make_sanitizer(args)
     sanitize_config = {
-        "command": "rpc", "platform": spec.name, "interface": "ccnic",
-        "n_ops": args.ops, "mode": getattr(args, "sanitize", None) or "on",
+        "command": "rpc", "platform": spec.name, "interface": args.interface,
+        "n_ops": args.packets, "mode": getattr(args, "sanitize", None) or "on",
     }
     rows = []
-    for kind in (InterfaceKind.CX6, InterfaceKind.CCNIC):
+    for kind in _study_kinds(args):
         # Fresh injector per comparison point (see cmd_kv).
         faults, _recovery = _make_faults(args)
         try:
             study = rpc_thread_study(
-                spec, kind, n_ops=args.ops, obs=obs, faults=faults,
+                spec, kind, n_ops=args.packets, batch=args.batch,
+                obs=obs, faults=faults,
                 flight=flight if kind.is_coherent else None,
                 sanitizer=sanitizer if kind.is_coherent else None,
             )
@@ -544,8 +739,8 @@ def cmd_rpc(args: argparse.Namespace) -> int:
     ))
     _export_obs(obs, args, flight=flight)
     _export_flight(flight, args, config={
-        "command": "rpc", "platform": spec.name, "interface": "ccnic",
-        "n_ops": args.ops,
+        "command": "rpc", "platform": spec.name, "interface": args.interface,
+        "n_ops": args.packets,
     })
     return _report_sanitizer(sanitizer, args, sanitize_config)
 
@@ -628,19 +823,42 @@ def cmd_forwarding(args: argparse.Namespace) -> int:
 
 
 def cmd_perf(args: argparse.Namespace) -> int:
-    from repro.analysis import perf
+    import importlib
 
-    scenarios = args.scenario or list(perf.SCENARIOS)
+    from repro.analysis import perf
+    from repro.errors import ConfigError
+    from repro.shard import scenario_names
+
+    for module in args.register or ():
+        # Imported for its register_scenario() side effects: the module's
+        # scenarios become runnable by name like the built-ins.
+        try:
+            importlib.import_module(module)
+        except ImportError as exc:
+            raise SystemExit(f"error: cannot import --register {module!r}: {exc}")
+    registered = scenario_names()
+    scenarios = args.scenario or registered
+    for name in scenarios:
+        if name not in registered:
+            raise SystemExit(
+                f"error: unknown scenario {name!r} "
+                f"(registered: {', '.join(registered)})"
+            )
     if args.compare == "none":
         compare = ()
     elif args.compare == "all":
         compare = tuple(scenarios)
     else:
         compare = ("loopback_64b",) if "loopback_64b" in scenarios else ()
-    doc = perf.run_suite(
-        scenarios, quick=args.quick, compare=compare, repeat=args.repeat,
-        progress=print,
-    )
+    if args.shards is not None and args.shards < 1:
+        raise SystemExit("error: --shards must be >= 1")
+    try:
+        doc = perf.run_suite(
+            scenarios, quick=args.quick, compare=compare, repeat=args.repeat,
+            progress=print, shards=args.shards,
+        )
+    except ConfigError as exc:
+        raise SystemExit(f"error: {exc}")
     rows = []
     for name, entry in doc["scenarios"].items():
         speedup = entry.get("speedup")
@@ -649,13 +867,19 @@ def cmd_perf(args: argparse.Namespace) -> int:
             f"{entry['wall_s']:.3f}",
             entry["events"],
             f"{entry['events_per_sec']:.0f}",
+            entry.get("n_shards", 1),
             entry["peak_rss_kb"],
             f"{speedup:.2f}x" if speedup else "-",
         ))
+    workers = doc.get("shards")
+    mode = "quick" if args.quick else "full"
+    if workers:
+        mode += f", {workers} worker(s)"
     print(format_table(
-        ["Scenario", "Wall [s]", "Events", "Events/sec", "Peak RSS [KB]", "Speedup"],
+        ["Scenario", "Wall [s]", "Events", "Events/sec", "Shards",
+         "Peak RSS [KB]", "Speedup"],
         rows,
-        title=f"Simulator self-benchmark ({'quick' if args.quick else 'full'})",
+        title=f"Simulator self-benchmark ({mode})",
     ))
     path = perf.write_bench(doc, args.out)
     print(f"wrote {path}")
@@ -723,31 +947,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    lb = sub.add_parser("loopback", help="loopback latency/throughput")
-    lb.add_argument("--platform", default="icx", choices=["icx", "spr"])
-    lb.add_argument("--interface", default="ccnic")
-    lb.add_argument("--size", type=int, default=64)
-    lb.add_argument("--packets", type=int, default=5000)
-    lb.add_argument("--inflight", type=int, default=64)
+    lb = sub.add_parser("loopback", help="loopback latency/throughput",
+                        parents=[_run_flags()])
     lb.add_argument("--rate", type=float, default=None,
                     help="offered rate in Mpps (open loop)")
-    lb.add_argument("--batch", type=int, default=32)
     lb.add_argument("--same-socket", action="store_true")
     lb.add_argument("--latency-factor", type=float, default=1.0)
     lb.add_argument("--bandwidth-factor", type=float, default=1.0)
+    _add_shard_args(lb)
     _add_obs_args(lb)
     _add_fault_args(lb)
     _add_flight_args(lb)
     _add_sanitize_args(lb)
     lb.set_defaults(func=cmd_loopback)
 
-    pr = sub.add_parser("profile", help="flight-recorder critical-path profile")
-    pr.add_argument("--platform", default="icx", choices=["icx", "spr"])
-    pr.add_argument("--interface", default="ccnic")
-    pr.add_argument("--size", type=int, default=64)
-    pr.add_argument("--packets", type=int, default=3000)
-    pr.add_argument("--inflight", type=int, default=64)
-    pr.add_argument("--batch", type=int, default=32)
+    pr = sub.add_parser("profile", help="flight-recorder critical-path profile",
+                        parents=[_run_flags(packets=3000)])
     pr.add_argument("--sample-every", type=int, default=1, metavar="N",
                     help="trace every Nth packet's critical path")
     pr.add_argument("--top", type=int, default=10, metavar="N",
@@ -756,13 +971,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_flight_args(pr)
     pr.set_defaults(func=cmd_profile)
 
-    fl = sub.add_parser("faults", help="fault-injection loopback study")
-    fl.add_argument("--platform", default="icx", choices=["icx", "spr"])
-    fl.add_argument("--interface", default="ccnic")
-    fl.add_argument("--size", type=int, default=256)
-    fl.add_argument("--packets", type=int, default=6000)
-    fl.add_argument("--inflight", type=int, default=64)
-    fl.add_argument("--batch", type=int, default=32)
+    fl = sub.add_parser("faults", help="fault-injection loopback study",
+                        parents=[_run_flags(size=256, packets=6000)])
     fl.add_argument(
         "--only", action="append", metavar="KIND", choices=list(FAULT_KINDS),
         help="restrict the plan to these fault kinds (repeatable)",
@@ -775,26 +985,27 @@ def build_parser() -> argparse.ArgumentParser:
     mb.add_argument("--platform", default="icx", choices=["icx", "spr"])
     mb.set_defaults(func=cmd_microbench)
 
-    ct = sub.add_parser("counters", help="Fig 17 coherence counters")
-    ct.add_argument("--platform", default="icx", choices=["icx", "spr"])
-    ct.add_argument("--interface", default="ccnic")
-    ct.add_argument("--packets", type=int, default=4000)
+    ct = sub.add_parser("counters", help="Fig 17 coherence counters",
+                        parents=[_run_flags(packets=4000, inflight=128)])
     _add_obs_args(ct)
     ct.set_defaults(func=cmd_counters)
 
-    kv = sub.add_parser("kv", help="KV store thread study")
-    kv.add_argument("--platform", default="icx", choices=["icx", "spr"])
+    kv = sub.add_parser("kv", help="KV store thread study",
+                        parents=[_run_flags(interface="both", packets=2000)])
     kv.add_argument("--distribution", default="ads", choices=["ads", "geo"])
-    kv.add_argument("--ops", type=int, default=2000)
+    kv.add_argument("--ops", dest="packets", type=int, metavar="N",
+                    help="alias for --packets (RPC op count)")
+    _add_shard_args(kv)
     _add_obs_args(kv)
     _add_fault_args(kv)
     _add_flight_args(kv)
     _add_sanitize_args(kv)
     kv.set_defaults(func=cmd_kv)
 
-    rpc = sub.add_parser("rpc", help="TCP RPC thread study")
-    rpc.add_argument("--platform", default="icx", choices=["icx", "spr"])
-    rpc.add_argument("--ops", type=int, default=2000)
+    rpc = sub.add_parser("rpc", help="TCP RPC thread study",
+                         parents=[_run_flags(interface="both", packets=2000)])
+    rpc.add_argument("--ops", dest="packets", type=int, metavar="N",
+                     help="alias for --packets (RPC op count)")
     _add_obs_args(rpc)
     _add_fault_args(rpc)
     _add_flight_args(rpc)
@@ -806,13 +1017,20 @@ def build_parser() -> argparse.ArgumentParser:
                     help="small scenario sizes (CI smoke)")
     pf.add_argument(
         "--scenario", action="append", metavar="NAME",
-        choices=["loopback_64b", "kv_zipf", "faults_canned"],
-        help="run only these scenarios (repeatable; default: all)",
+        help="run only these scenarios (repeatable; default: every "
+             "registered scenario — see --register)",
     )
     pf.add_argument(
+        "--register", action="append", metavar="MODULE",
+        help="import MODULE before running so its register_scenario() "
+             "calls add user scenarios to the registry (repeatable)",
+    )
+    _add_shard_args(pf)
+    pf.add_argument(
         "--compare", default="loopback", choices=["none", "loopback", "all"],
-        help="which scenarios also run with REPRO_SIM_SLOWPATH=1 for the "
-             "speedup + determinism check (default: loopback)",
+        help="which scenarios also run the determinism comparison: against "
+             "REPRO_SIM_SLOWPATH=1, or against a single-process rerun when "
+             "--shards is set (default: loopback)",
     )
     pf.add_argument("--out", default="BENCH_sim_perf.json", metavar="FILE")
     pf.add_argument("--baseline", default="benchmarks/perf/baseline.json",

@@ -24,7 +24,12 @@ from repro.core.config import CcnicConfig, DescLayout
 from repro.core.interface import CcnicInterface
 from repro.core.nic import NicDriver, NicInterface
 from repro.core.pool import BufferPool
-from repro.core.results import AllocResult, RxResult, TxResult
+from repro.core.results import (
+    AllocResult,
+    RxResult,
+    TxResult,
+    reset_tuple_unpack_warnings,
+)
 
 __all__ = [
     "AllocResult",
@@ -37,4 +42,5 @@ __all__ = [
     "NicInterface",
     "RxResult",
     "TxResult",
+    "reset_tuple_unpack_warnings",
 ]

@@ -8,7 +8,10 @@ result carries ``count`` and ``ns``, plus the payload (``bufs`` or
 
 Backward compatibility: each class still tuple-unpacks exactly like the
 old return value (``sent, ns = driver.tx_burst(...)``) via ``__iter__``.
-That path is deprecated; new code should use the named attributes.
+That path is deprecated and now emits a one-shot
+:class:`DeprecationWarning` per result class — once per process, not per
+burst, so a hot loop that still unpacks warns exactly once instead of
+drowning the run. New code should use the named attributes.
 
 These objects are constructed on every burst call, including the empty
 polls that dominate a latency-bound run, so they are kept deliberately
@@ -19,10 +22,32 @@ stored as passed (drivers hand over a fresh list they never reuse).
 from __future__ import annotations
 
 import sys
+import warnings
 from dataclasses import dataclass
-from typing import Any, Iterator, Sequence, Tuple
+from typing import Any, Iterator, Sequence, Set, Tuple
 
 from repro.core.buffers import Buffer
+
+#: Result classes that already warned about tuple unpacking (one-shot).
+_WARNED_CLASSES: Set[str] = set()
+
+
+def _warn_tuple_unpack(cls_name: str) -> None:
+    """Emit the tuple-unpack DeprecationWarning once per result class."""
+    if cls_name in _WARNED_CLASSES:
+        return
+    _WARNED_CLASSES.add(cls_name)
+    warnings.warn(
+        f"tuple-unpacking {cls_name} is deprecated; use the named "
+        f"attributes instead (e.g. result.count, result.ns)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def reset_tuple_unpack_warnings() -> None:
+    """Re-arm the one-shot unpack warnings (for tests)."""
+    _WARNED_CLASSES.clear()
 
 # slots=True (3.10+) makes construction and attribute reads measurably
 # cheaper; on 3.9 the classes simply carry an instance dict instead.
@@ -52,6 +77,7 @@ class AllocResult:
 
     def __iter__(self) -> Iterator[Any]:
         """Deprecated tuple-unpack compatibility: ``bufs, ns = ...``."""
+        _warn_tuple_unpack("AllocResult")
         yield list(self.bufs)
         yield self.ns
 
@@ -68,6 +94,7 @@ class TxResult:
 
     def __iter__(self) -> Iterator[Any]:
         """Deprecated tuple-unpack compatibility: ``sent, ns = ...``."""
+        _warn_tuple_unpack("TxResult")
         yield self.count
         yield self.ns
 
@@ -88,5 +115,6 @@ class RxResult:
 
     def __iter__(self) -> Iterator[Any]:
         """Deprecated tuple-unpack compatibility: ``entries, ns = ...``."""
+        _warn_tuple_unpack("RxResult")
         yield list(self.entries)
         yield self.ns

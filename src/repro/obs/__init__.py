@@ -54,6 +54,7 @@ from repro.obs.registry import (
     GaugeMetric,
     HistogramMetric,
     MetricRegistry,
+    merge_snapshots,
 )
 from repro.obs.spans import Span, SpanTracer
 from repro.obs.flight import (
@@ -104,6 +105,7 @@ __all__ = [
     "attach_flight",
     "classify_region",
     "detach_flight",
+    "merge_snapshots",
     "export_chrome_trace",
     "export_flight_json",
     "export_lint_json",

@@ -24,10 +24,68 @@ the registry's ``fabric`` section is always value-equal to
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.sim.stats import Counter, Histogram
+
+#: Histogram-summary suffixes with non-additive merge semantics (see
+#: :func:`merge_snapshots`).
+_MIN_SUFFIX = ".min"
+_MAX_SUFFIX = ".max"
+_WEIGHTED_SUFFIXES = (".mean", ".median", ".p99")
+
+
+def merge_snapshots(
+    snapshots: Iterable[Mapping[str, Mapping[str, float]]],
+) -> Dict[str, Dict[str, float]]:
+    """Merge per-shard registry snapshots into one, deterministically.
+
+    The merge is **order-independent up to float associativity**: inputs
+    are reduced in a canonical order (sorted component, sorted metric
+    name, then input position), so the same multiset of snapshots always
+    produces the bit-identical merged dict no matter which worker
+    finished first. Shard runners that need strict order independence
+    therefore sort their inputs by shard index before calling this.
+
+    Per-key semantics, chosen by the flattened metric-name suffix:
+
+    * ``*.min`` → minimum, ``*.max`` → maximum;
+    * ``*.mean`` / ``*.median`` / ``*.p99`` → mean weighted by the
+      sibling ``*.count`` key (exact for ``.mean``; a documented
+      approximation for the quantile keys — callers needing exact merged
+      quantiles must merge raw samples, as the shard layer does for
+      latency histograms);
+    * everything else (counters, gauges, ``*.count``) → sum.
+    """
+    ordered = list(snapshots)
+    components: Dict[str, List[Mapping[str, float]]] = {}
+    for snap in ordered:
+        for component, section in snap.items():
+            components.setdefault(component, []).append(section)
+    out: Dict[str, Dict[str, float]] = {}
+    for component in sorted(components):
+        sections = components[component]
+        names = sorted({name for section in sections for name in section})
+        merged: Dict[str, float] = {}
+        for name in names:
+            values = [s[name] for s in sections if name in s]
+            if name.endswith(_MIN_SUFFIX):
+                merged[name] = min(values)
+            elif name.endswith(_MAX_SUFFIX):
+                merged[name] = max(values)
+            elif name.endswith(_WEIGHTED_SUFFIXES):
+                base = name.rsplit(".", 1)[0]
+                weights = [s.get(base + ".count", 1.0) for s in sections if name in s]
+                total = sum(weights)
+                if total <= 0:
+                    merged[name] = sum(values) / len(values)
+                else:
+                    merged[name] = sum(v * w for v, w in zip(values, weights)) / total
+            else:
+                merged[name] = sum(values)
+        out[component] = merged
+    return out
 
 
 class CounterMetric:
@@ -266,6 +324,18 @@ class MetricRegistry:
             if bag:
                 out.setdefault(component, {}).update(bag)
         return out
+
+    @staticmethod
+    def merge(
+        snapshots: Iterable[Mapping[str, Mapping[str, float]]],
+    ) -> Dict[str, Dict[str, float]]:
+        """Merge :meth:`snapshot` dicts from several registries.
+
+        See :func:`merge_snapshots` for the per-key reduction rules.
+        This is how a partitioned run's per-shard registries combine
+        into the one snapshot the exporters write.
+        """
+        return merge_snapshots(snapshots)
 
     def reset(self) -> None:
         """Zero owned metrics and adopted counter bags."""

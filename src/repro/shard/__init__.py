@@ -1,0 +1,73 @@
+"""Sharded parallel simulation behind the declarative ScenarioSpec API.
+
+``repro.shard`` splits a scenario into per-queue-pair shards, executes
+them across worker processes, and merges the per-shard metrics into one
+deterministic, fingerprint-stable document. The enabling abstraction is
+:class:`ScenarioSpec` — a frozen, picklable description of a run
+(platform, interface, workload, counts, seeds, fault plan) registered
+under a name and runnable by every harness in the repo::
+
+    from repro.shard import run_sharded, scenario
+
+    run = run_sharded("loopback_64b", workers=4)
+    assert run.fingerprint == run_sharded("loopback_64b", workers=1).fingerprint
+
+The partition width is a property of the *scenario* (``spec.shards``),
+not of the machine: any worker count executes the identical shard set,
+so merged fingerprints are invariant under parallelism. See
+:mod:`repro.shard.spec` for the partition/seed-derivation rules,
+:mod:`repro.shard.runner` for the conservative-DES lookahead argument,
+and :mod:`repro.shard.merge` for the order-independent reduction.
+"""
+
+from repro.shard.merge import (
+    MERGED_SCHEMA,
+    fingerprint,
+    merge_metrics,
+    merge_results,
+)
+from repro.shard.runner import (
+    ShardPlan,
+    ShardRun,
+    default_workers,
+    execute_spec,
+    lookahead_ns,
+    run_shard,
+    run_sharded,
+)
+from repro.shard.spec import (
+    DEFAULT_SHARDS,
+    INTERFACES,
+    PLATFORMS,
+    WORKLOADS,
+    ScenarioSpec,
+    register_scenario,
+    scenario,
+    scenario_descriptions,
+    scenario_names,
+    unregister_scenario,
+)
+
+__all__ = [
+    "DEFAULT_SHARDS",
+    "INTERFACES",
+    "MERGED_SCHEMA",
+    "PLATFORMS",
+    "ScenarioSpec",
+    "ShardPlan",
+    "ShardRun",
+    "WORKLOADS",
+    "default_workers",
+    "execute_spec",
+    "fingerprint",
+    "lookahead_ns",
+    "merge_metrics",
+    "merge_results",
+    "register_scenario",
+    "run_shard",
+    "run_sharded",
+    "scenario",
+    "scenario_descriptions",
+    "scenario_names",
+    "unregister_scenario",
+]

@@ -1,0 +1,357 @@
+"""Execute :class:`~repro.shard.spec.ScenarioSpec` partitions.
+
+Three layers, each usable on its own:
+
+* :func:`execute_spec` — run ONE spec (a whole scenario or a single
+  shard of one) in this process and return a plain-dict result:
+  counts, simulation snapshot, raw latency samples, and optionally a
+  metric-registry snapshot. Everything in the dict is picklable and
+  JSON-safe, so results cross process boundaries untouched.
+* :func:`run_shard` — the multiprocessing entry point: rebuilds a spec
+  from its ``to_doc`` form and runs it. Top-level by design so it
+  pickles under both ``fork`` and ``spawn`` start methods.
+* :func:`run_sharded` — partition a scenario with
+  :meth:`~repro.shard.spec.ScenarioSpec.shard_specs`, execute the
+  shards across a process pool (or sequentially for ``workers=1``),
+  and fold the results with :mod:`repro.shard.merge`.
+
+Lookahead
+---------
+
+The partition is conservative parallel DES in its degenerate best
+case: CC-NIC queue pairs share no simulation state, so shards exchange
+no events at all, and cross-QP coupling (shared interconnect bandwidth,
+LLC contention) is modeled analytically after the fact by
+:mod:`repro.analysis.scaling`. The lookahead bound recorded in the
+:class:`ShardPlan` — the one-way latency of the host-NIC interconnect —
+is the earliest any cross-shard event *could* arrive if one existed;
+since none does, every shard may safely run its full virtual-time
+window without synchronizing. The bound is recorded, not enforced:
+it documents why the parallel run is exactly equivalent to the
+sequential one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.analysis.loopback import InterfaceKind, build_interface, run_point
+from repro.core.recovery import RecoveryPolicy
+from repro.errors import ConfigError
+from repro.platform import icx, spr
+from repro.shard.merge import fingerprint, merge_metrics, merge_results
+from repro.shard.spec import ScenarioSpec, scenario
+
+
+# ----------------------------------------------------------------------
+# Spec execution (one process)
+# ----------------------------------------------------------------------
+def _platform_spec(name: str):
+    if name == "icx":
+        return icx()
+    if name == "spr":
+        return spr()
+    raise ConfigError(f"unknown platform {name!r}")
+
+
+def _make_faults(spec: ScenarioSpec):
+    if spec.fault_plan is None:
+        return None
+    from repro.faults import FaultInjector, FaultPlan
+
+    if spec.fault_plan == "canned":
+        plan = FaultPlan.canned()
+    else:
+        plan = FaultPlan.load(spec.fault_plan)
+    return FaultInjector(plan, seed=spec.fault_seed)
+
+
+def lookahead_ns(spec: ScenarioSpec) -> float:
+    """Conservative-DES lookahead: interconnect one-way latency."""
+    platform = _platform_spec(spec.platform)
+    kind = InterfaceKind(spec.interface)
+    if kind.is_coherent:
+        return platform.upi_latency_ns
+    return platform.nic(kind.value).pcie_one_way_ns
+
+
+def _execute_loopback(spec: ScenarioSpec, quick: bool, obs) -> Dict:
+    faults = _make_faults(spec)
+    setup = build_interface(
+        _platform_spec(spec.platform),
+        InterfaceKind(spec.interface),
+        obs=obs,
+        faults=faults,
+    )
+    recovery = RecoveryPolicy() if faults is not None else None
+    start = time.perf_counter()  # repro: allow(wall-clock) host benchmark timing
+    result = run_point(
+        setup,
+        pkt_size=spec.pkt_size,
+        n_packets=spec.count(quick),
+        inflight=spec.inflight,
+        offered_mpps=spec.offered_mpps,
+        tx_batch=spec.tx_batch,
+        rx_batch=spec.rx_batch,
+        obs=obs,
+        recovery=recovery,
+    )
+    wall = time.perf_counter() - start  # repro: allow(wall-clock) host benchmark timing
+    system = setup.system
+    snapshot = {
+        "received": result.received,
+        "dropped": result.dropped,
+        "mpps": result.mpps,
+        "median_ns": result.latency.percentile(50),
+        "p99_ns": result.latency.percentile(99),
+        **_system_snapshot(system),
+    }
+    extra = {"packets": float(result.received), "mpps": result.mpps}
+    if faults is not None:
+        snapshot["faults"] = faults.counters.snapshot()
+        snapshot["injected"] = faults.total_injected()
+        snapshot["tx_retries"] = setup.driver.tx_retries
+        snapshot["watchdog_resets"] = setup.driver.watchdog_resets
+        extra["dropped"] = float(result.dropped)
+        extra["injected"] = float(faults.total_injected())
+    return _result_doc(spec, wall, system, snapshot, result.latency.samples(), extra)
+
+
+def _execute_kv(spec: ScenarioSpec, quick: bool, obs) -> Dict:
+    from repro.apps.kvstore import KvServerApp, KvWorkload
+
+    faults = _make_faults(spec)
+    setup = build_interface(
+        _platform_spec(spec.platform),
+        InterfaceKind(spec.interface),
+        obs=obs,
+        faults=faults,
+    )
+    maker = KvWorkload.ads if spec.distribution == "ads" else KvWorkload.geo
+    workload = maker(
+        n_keys=spec.n_keys,
+        zipf_coefficient=spec.zipf_coefficient,
+        seed=spec.seed,
+        key_base=spec.key_base,
+    )
+    app = KvServerApp(
+        setup,
+        workload,
+        offered_mops=spec.offered_mops,
+        n_ops=spec.count(quick),
+        batch=spec.tx_batch,
+    )
+    start = time.perf_counter()  # repro: allow(wall-clock) host benchmark timing
+    result = app.run()
+    wall = time.perf_counter() - start  # repro: allow(wall-clock) host benchmark timing
+    system = setup.system
+    snapshot = {
+        "ops": result.ops,
+        "mops": result.mops,
+        "median_ns": result.latency.percentile(50),
+        "p99_ns": result.latency.percentile(99),
+        **_system_snapshot(system),
+    }
+    extra = {"ops": float(result.ops), "mops": result.mops}
+    return _result_doc(spec, wall, system, snapshot, result.latency.samples(), extra)
+
+
+def _system_snapshot(system) -> Dict:
+    """The simulation-state half of every shard fingerprint."""
+    return {
+        "counters": system.fabric.snapshot_counters(),
+        "events": system.sim.events_executed,
+        "now": system.sim.now,
+        "link": [
+            {
+                "messages": st.messages,
+                "payload": st.payload_bytes,
+                "wire": st.wire_bytes,
+                "busy": st.busy_ns,
+                "by_class": st.by_class,
+                "wire_by_class": st.wire_by_class,
+            }
+            for st in system.link.stats
+        ],
+    }
+
+
+def _result_doc(spec, wall, system, snapshot, latency_samples, extra) -> Dict:
+    return {
+        "spec": spec.to_doc(),
+        "wall_s": wall,
+        "events": system.sim.events_executed,
+        "sim_ns": system.sim.now,
+        "snapshot": snapshot,
+        "latency_ns": latency_samples,
+        "extra": extra,
+        "metrics": None,
+    }
+
+
+def execute_spec(
+    spec: ScenarioSpec, quick: bool = False, with_metrics: bool = False
+) -> Dict:
+    """Run one spec in this process; returns the shard-result dict.
+
+    ``with_metrics`` wires a fresh :class:`~repro.obs.MetricRegistry`
+    into the run and attaches its snapshot under ``"metrics"`` (merged
+    across shards by :func:`repro.shard.merge.merge_metrics`). Metric
+    snapshots ride alongside the fingerprint snapshot; they never enter
+    it, so metric-instrumented and bare runs stay comparable.
+    """
+    spec.validate()
+    obs = None
+    if with_metrics:
+        from repro.obs import MetricRegistry, Observability
+
+        obs = Observability(metrics=MetricRegistry())
+    if spec.workload == "kv":
+        result = _execute_kv(spec, quick, obs)
+    else:
+        result = _execute_loopback(spec, quick, obs)
+    if obs is not None:
+        result["metrics"] = obs.metrics.snapshot()
+    return result
+
+
+def run_shard(
+    index: int, spec_doc: Dict, quick: bool = False, with_metrics: bool = False
+) -> Dict:
+    """Process-pool entry point: run shard ``index`` from its doc form."""
+    spec = ScenarioSpec.from_doc(spec_doc)
+    result = execute_spec(spec, quick=quick, with_metrics=with_metrics)
+    result["index"] = index
+    return result
+
+
+# ----------------------------------------------------------------------
+# Sharded execution
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardPlan:
+    """The partition a sharded run will execute."""
+
+    scenario: str
+    n_shards: int
+    lookahead_ns: float
+    specs: List[ScenarioSpec] = field(repr=False)
+
+    @classmethod
+    def for_spec(cls, spec: ScenarioSpec) -> "ShardPlan":
+        return cls(
+            scenario=spec.name,
+            n_shards=spec.shards,
+            lookahead_ns=lookahead_ns(spec),
+            specs=spec.shard_specs(),
+        )
+
+
+@dataclass
+class ShardRun:
+    """Outcome of one sharded execution, merged."""
+
+    scenario: str
+    n_shards: int
+    workers: int
+    wall_s: float
+    events: int
+    sim_ns: float
+    fingerprint: str
+    doc: Dict
+    extra: Dict[str, float]
+    lookahead_ns: float
+    metrics: Optional[Dict] = None
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+
+def _pool_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # platforms without fork
+        return multiprocessing.get_context("spawn")
+
+
+def default_workers() -> int:
+    """Worker-count default: one per available CPU."""
+    return max(1, os.cpu_count() or 1)
+
+
+def run_sharded(
+    spec: Union[str, ScenarioSpec],
+    workers: Optional[int] = None,
+    quick: bool = False,
+    with_metrics: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ShardRun:
+    """Run a scenario's partition and merge the per-shard results.
+
+    ``spec`` is a registered scenario name or a spec object. ``workers``
+    chooses how many processes execute the (fixed) partition —
+    ``workers=1`` runs every shard sequentially in this process, which
+    is both the determinism baseline and the speedup denominator. The
+    merged fingerprint is identical for every worker count because the
+    partition, the per-shard seeds, and the merge order never depend
+    on it.
+    """
+    if isinstance(spec, str):
+        spec = scenario(spec)
+    plan = ShardPlan.for_spec(spec)
+    n = plan.n_shards
+    requested = default_workers() if workers is None else workers
+    if requested < 1:
+        raise ConfigError("workers must be >= 1")
+    use_workers = min(requested, n)
+    if progress is not None:
+        progress(
+            f"{plan.scenario}: {n} shard(s) on {use_workers} worker(s), "
+            f"lookahead {plan.lookahead_ns:g} ns"
+        )
+    docs = [s.to_doc() for s in plan.specs]
+    start = time.perf_counter()  # repro: allow(wall-clock) host benchmark timing
+    if use_workers == 1:
+        results = [
+            run_shard(index, doc, quick=quick, with_metrics=with_metrics)
+            for index, doc in enumerate(docs)
+        ]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=use_workers, mp_context=_pool_context()
+        ) as pool:
+            futures = [
+                pool.submit(run_shard, index, doc, quick, with_metrics)
+                for index, doc in enumerate(docs)
+            ]
+            results = [f.result() for f in futures]
+    wall = time.perf_counter() - start  # repro: allow(wall-clock) host benchmark timing
+
+    merged_doc = merge_results(results, plan.scenario, plan.lookahead_ns)
+    extras = sorted(
+        (result["index"], result["extra"]) for result in results
+    )
+    extra: Dict[str, float] = {}
+    for _, shard_extra in extras:
+        for key in sorted(shard_extra):
+            extra[key] = extra.get(key, 0.0) + shard_extra[key]
+    metrics = merge_metrics(results) if with_metrics else None
+    return ShardRun(
+        scenario=plan.scenario,
+        n_shards=n,
+        workers=use_workers,
+        wall_s=wall,
+        events=int(merged_doc["merged"]["events"]),
+        sim_ns=merged_doc["merged"]["now"],
+        fingerprint=fingerprint(merged_doc),
+        doc=merged_doc,
+        extra=extra,
+        lookahead_ns=plan.lookahead_ns,
+        metrics=metrics,
+    )

@@ -1,0 +1,331 @@
+"""Declarative, serializable scenario specifications.
+
+A :class:`ScenarioSpec` is the portable description of one simulation
+run: platform, interface, workload family, counts, seeds, and fault
+plan. It replaces the closed-over scenario functions the perf harness
+used to hardcode — a spec is a frozen dataclass of plain values, so it
+pickles across process boundaries, round-trips through JSON
+(:meth:`ScenarioSpec.to_doc` / :meth:`ScenarioSpec.from_doc`), and can
+be constructed by any runner: the inline executor, the sharded
+multiprocessing runner (:mod:`repro.shard.runner`), or a future
+multi-host dispatcher.
+
+Sharding model (conservative parallel DES over queue pairs)
+-----------------------------------------------------------
+
+CC-NIC's unit of independence is the queue pair: descriptor rings,
+signal lines, and buffer pools are per-QP, homed per-socket, and never
+shared between pairs. A spec with ``shards = n`` therefore describes a
+scenario whose workload is *partitioned* into ``n`` per-QP shards —
+:meth:`ScenarioSpec.shard_specs` splits the packet/op counts, assigns
+disjoint key ranges, and derives an independent seed family per shard
+via :func:`repro.sim.rng.derive_seed`. The partition is a property of
+the **scenario**, not of the machine executing it: however many worker
+processes run the shards, the per-shard runs — and therefore the merged
+metrics — are identical.
+
+The registry
+------------
+
+Named specs live in a process-global registry. The built-in scenarios
+(``loopback_64b``, ``kv_zipf``, ``faults_canned``, ``kv_zipf_1m``) are
+registered at import; users register their own with
+:func:`register_scenario` (or ``python -m repro perf --register
+your.module``, which imports a module for its registration side
+effects) and every runner picks them up by name.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.sim.rng import derive_seed
+
+#: Workload families a spec can describe.
+WORKLOADS = ("loopback", "kv")
+#: Platform presets a spec can name.
+PLATFORMS = ("icx", "spr")
+#: Interface comparison points (mirrors analysis.loopback.InterfaceKind).
+INTERFACES = ("ccnic", "unopt", "e810", "cx6")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named, parameterized, picklable scenario description.
+
+    Packet-workload fields (``pkt_size`` .. ``rx_batch``) apply when
+    ``workload == "loopback"``; KV fields (``distribution`` ..
+    ``key_base``) when ``workload == "kv"``. ``n_packets_quick`` /
+    ``n_ops_quick`` are the CI-smoke sizes used when a runner asks for
+    the quick variant; they scale the count, never the seeds, so quick
+    and full runs share the same stream derivation.
+    """
+
+    name: str
+    workload: str = "loopback"
+    platform: str = "icx"
+    interface: str = "ccnic"
+    description: str = ""
+    # -- packet (loopback) workload ------------------------------------
+    pkt_size: int = 64
+    n_packets: int = 50000
+    n_packets_quick: Optional[int] = None
+    inflight: Optional[int] = 64
+    offered_mpps: Optional[float] = None
+    tx_batch: int = 32
+    rx_batch: int = 32
+    # -- kv workload ----------------------------------------------------
+    distribution: str = "ads"
+    n_ops: int = 500
+    n_ops_quick: Optional[int] = None
+    n_keys: int = 4096
+    offered_mops: float = 50.0
+    zipf_coefficient: float = 0.75
+    key_base: int = 0
+    # -- shared ---------------------------------------------------------
+    seed: int = 7
+    fault_plan: Optional[str] = None   # None, "canned", or a plan path
+    fault_seed: int = 7
+    shards: int = 1                    # logical partition width
+
+    # ------------------------------------------------------------------
+    def validate(self) -> "ScenarioSpec":
+        """Raise :class:`ConfigError` on an inconsistent spec."""
+        if not self.name:
+            raise ConfigError("scenario spec needs a name")
+        if self.workload not in WORKLOADS:
+            raise ConfigError(
+                f"unknown workload {self.workload!r} "
+                f"(choose from {', '.join(WORKLOADS)})"
+            )
+        if self.platform not in PLATFORMS:
+            raise ConfigError(
+                f"unknown platform {self.platform!r} "
+                f"(choose from {', '.join(PLATFORMS)})"
+            )
+        if self.interface not in INTERFACES:
+            raise ConfigError(
+                f"unknown interface {self.interface!r} "
+                f"(choose from {', '.join(INTERFACES)})"
+            )
+        if self.shards < 1:
+            raise ConfigError("shards must be >= 1")
+        if self.workload == "loopback":
+            if self.n_packets < self.shards:
+                raise ConfigError("n_packets must be >= shards")
+            if self.pkt_size <= 0:
+                raise ConfigError("pkt_size must be positive")
+        else:
+            if self.n_ops < self.shards:
+                raise ConfigError("n_ops must be >= shards")
+            if self.n_keys < self.shards:
+                raise ConfigError("n_keys must be >= shards")
+            if self.distribution not in ("ads", "geo"):
+                raise ConfigError(
+                    f"unknown distribution {self.distribution!r} (ads or geo)"
+                )
+        return self
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_doc(self) -> Dict:
+        """Plain-dict form (JSON-safe); drops default-valued fields."""
+        doc: Dict = {}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if field.name == "name" or value != field.default:
+                doc[field.name] = value
+        return doc
+
+    @classmethod
+    def from_doc(cls, doc: Dict) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_doc` output."""
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(doc) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown scenario spec field(s): {', '.join(sorted(unknown))}"
+            )
+        return cls(**doc).validate()
+
+    def replace(self, **changes) -> "ScenarioSpec":
+        """A copy with ``changes`` applied (and re-validated)."""
+        return dataclasses.replace(self, **changes).validate()
+
+    # ------------------------------------------------------------------
+    # Effective sizes
+    # ------------------------------------------------------------------
+    def count(self, quick: bool = False) -> int:
+        """Effective packet/op count for the quick or full variant."""
+        if self.workload == "loopback":
+            if quick and self.n_packets_quick is not None:
+                return self.n_packets_quick
+            return self.n_packets
+        if quick and self.n_ops_quick is not None:
+            return self.n_ops_quick
+        return self.n_ops
+
+    @property
+    def total_flows(self) -> int:
+        """Distinct flows the scenario's workload draws from."""
+        if self.workload == "kv":
+            return self.n_keys
+        return 1  # one loopback flow per queue pair
+
+    # ------------------------------------------------------------------
+    # Partitioning
+    # ------------------------------------------------------------------
+    def shard_label(self, index: int) -> str:
+        """Stable label naming one shard of this scenario."""
+        return f"{self.name}/shard{index}"
+
+    def shard_specs(self) -> List["ScenarioSpec"]:
+        """The per-shard specs of this scenario's logical partition.
+
+        Counts are split evenly with the remainder spread over the
+        lowest shard indices; KV key spaces become disjoint ranges
+        (``key_base`` prefix sums). Seeds are *derived*, not split:
+        shard ``i`` seeds come from ``derive_seed(seed, label)`` so
+        every shard owns an independent, reproducible stream family
+        regardless of worker count or execution order.
+        """
+        self.validate()
+        if self.shards == 1:
+            return [self]
+        specs: List[ScenarioSpec] = []
+        key_cursor = self.key_base
+        for index in range(self.shards):
+            label = self.shard_label(index)
+            changes: Dict = {
+                "name": label,
+                "shards": 1,
+                "seed": derive_seed(self.seed, label),
+                "fault_seed": derive_seed(self.fault_seed, label + "/faults"),
+                "n_packets": _split(self.n_packets, self.shards, index),
+                "n_ops": _split(self.n_ops, self.shards, index),
+            }
+            if self.n_packets_quick is not None:
+                changes["n_packets_quick"] = _split(
+                    self.n_packets_quick, self.shards, index
+                )
+            if self.n_ops_quick is not None:
+                changes["n_ops_quick"] = _split(self.n_ops_quick, self.shards, index)
+            if self.workload == "kv":
+                shard_keys = _split(self.n_keys, self.shards, index)
+                changes["n_keys"] = shard_keys
+                changes["key_base"] = key_cursor
+                key_cursor += shard_keys
+            if self.offered_mpps is not None:
+                changes["offered_mpps"] = self.offered_mpps / self.shards
+            specs.append(dataclasses.replace(self, **changes))
+        return specs
+
+
+def _split(total: int, parts: int, index: int) -> int:
+    """Size of piece ``index`` when ``total`` splits into ``parts``."""
+    base, remainder = divmod(total, parts)
+    return base + (1 if index < remainder else 0)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
+    """Add a named spec to the registry; returns it for chaining.
+
+    Registration is how user scenarios reach the runners: any module
+    that calls this at import time makes its scenarios runnable via
+    ``repro perf --scenario <name>`` (see ``--register``).
+    """
+    spec.validate()
+    if not replace and spec.name in _REGISTRY:
+        raise ConfigError(f"scenario {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a registered spec (primarily for tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def scenario(name: str) -> ScenarioSpec:
+    """Look up a registered spec by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scenario {name!r} (choose from {', '.join(scenario_names())})"
+        )
+
+
+def scenario_names() -> List[str]:
+    """Registered scenario names, in registration order."""
+    return list(_REGISTRY)
+
+
+def scenario_descriptions() -> Dict[str, str]:
+    """``{name: description}`` for every registered scenario."""
+    return {name: spec.description for name, spec in _REGISTRY.items()}
+
+
+# ----------------------------------------------------------------------
+# Built-in scenarios
+# ----------------------------------------------------------------------
+#: Logical partition width of the built-in shardable scenarios: eight
+#: queue pairs, one per application thread of the paper's single-socket
+#: evaluation sweep. Fixed per scenario so the merged fingerprint is
+#: invariant under the worker count executing it.
+DEFAULT_SHARDS = 8
+
+register_scenario(ScenarioSpec(
+    name="loopback_64b",
+    workload="loopback",
+    description="closed-loop 64B CC-NIC loopback",
+    pkt_size=64,
+    n_packets=50000,
+    n_packets_quick=4000,
+    inflight=64,
+    shards=DEFAULT_SHARDS,
+))
+
+register_scenario(ScenarioSpec(
+    name="kv_zipf",
+    workload="kv",
+    description="KV server thread, Zipf Ads objects",
+    n_ops=500,
+    n_ops_quick=120,
+    n_keys=4096,
+    offered_mops=50.0,
+    shards=DEFAULT_SHARDS,
+))
+
+register_scenario(ScenarioSpec(
+    name="faults_canned",
+    workload="loopback",
+    description="canned fault plan + recovery",
+    pkt_size=256,
+    n_packets=6000,
+    n_packets_quick=1200,
+    inflight=64,
+    fault_plan="canned",
+    shards=DEFAULT_SHARDS,
+))
+
+register_scenario(ScenarioSpec(
+    name="kv_zipf_1m",
+    workload="kv",
+    description="million-flow Zipf KV service, 32 queue-pair shards",
+    n_ops=9600,
+    n_ops_quick=1600,
+    n_keys=1 << 20,
+    offered_mops=50.0,
+    shards=32,
+))

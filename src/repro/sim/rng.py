@@ -2,7 +2,11 @@
 
 Every stochastic component takes an explicit ``random.Random`` so whole
 experiments are reproducible from one seed. ``make_rng`` derives stable
-per-component streams from a root seed and a label.
+per-component streams from a root seed and a label; ``derive_seed``
+exposes the same derivation as an integer, which is how the shard layer
+gives every shard of a partitioned run an independent, reproducible
+seed family (`shard i` of root seed ``s`` always gets the same streams,
+no matter how many worker processes execute the partition).
 """
 
 from __future__ import annotations
@@ -11,12 +15,17 @@ import hashlib
 import random
 
 
-def make_rng(seed: int, label: str = "") -> random.Random:
-    """Create a ``random.Random`` stream derived from ``(seed, label)``.
+def derive_seed(seed: int, label: str = "") -> int:
+    """Derive a stable 64-bit child seed from ``(seed, label)``.
 
-    Distinct labels give independent streams; the same pair always gives
-    the same stream, regardless of Python hash randomization.
+    Distinct labels give independent seeds; the same pair always gives
+    the same seed, regardless of Python hash randomization or process
+    boundaries.
     """
     digest = hashlib.sha256(f"{seed}:{label}".encode("utf-8")).digest()
-    derived = int.from_bytes(digest[:8], "big")
-    return random.Random(derived)
+    return int.from_bytes(digest[:8], "big")
+
+
+def make_rng(seed: int, label: str = "") -> random.Random:
+    """Create a ``random.Random`` stream derived from ``(seed, label)``."""
+    return random.Random(derive_seed(seed, label))

@@ -100,6 +100,16 @@ class Histogram:
     def __len__(self) -> int:
         return len(self._samples)
 
+    def samples(self) -> List[float]:
+        """Copy of the raw samples, in recording order.
+
+        This is the exact-merge contract the shard layer relies on:
+        concatenating the samples of per-shard histograms and sorting
+        reproduces the quantiles a single-process run over the same
+        partition would report, independent of shard execution order.
+        """
+        return list(self._samples)
+
     @property
     def count(self) -> int:
         return len(self._samples)

@@ -121,21 +121,21 @@ class TestAblations:
 class TestMultiSegment:
     def test_chained_buffer_transmits_once(self):
         system, nic, driver = make()
-        bufs, _ = driver.alloc([4096, 4096])
+        bufs = driver.alloc([4096, 4096]).bufs
         head, seg = bufs
         driver.write_payload(head, 64)
         driver.write_payload(seg, 1000)
         head.chain(seg)
         pkt = Packet(size=1064)
-        sent, _ = driver.tx_burst([(head, pkt)])
+        sent = driver.tx_burst([(head, pkt)]).count
         assert sent == 1
         # Drive the sim until the packet loops back.
         received = []
         def app():
             while not received:
-                got, ns = driver.rx_burst(4)
-                received.extend(got)
-                yield max(ns, 1.0)
+                rx = driver.rx_burst(4)
+                received.extend(rx.entries)
+                yield max(rx.ns, 1.0)
         system.sim.spawn(app(), "app")
         system.sim.run(until=1e7, stop_when=lambda: bool(received))
         assert received[0][0] is pkt

@@ -9,7 +9,8 @@ from repro.analysis.checks import (
     format_violation_table,
 )
 from repro.analysis.loopback import InterfaceKind, build_interface, run_point
-from repro.analysis.perf import _fingerprint, _system_snapshot
+from repro.analysis.perf import _fingerprint
+from repro.shard.runner import _system_snapshot
 from repro.check import METADATA_CLASSES, Sanitizer
 from repro.core.buffers import Buffer
 from repro.core.config import CcnicConfig

@@ -132,3 +132,74 @@ class TestValidateCommand:
         out = capsys.readouterr().out
         assert "calibration OK" in out
         assert "fig7" in out
+
+
+class TestShardedCli:
+    def test_loopback_sharded(self, capsys):
+        assert main(["loopback", "--packets", "400", "--inflight", "8",
+                     "--batch", "4", "--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded loopback" in out
+        assert "merged fingerprint" in out
+        assert "received packets" in out
+
+    def test_loopback_sharded_rejects_per_process_flags(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["loopback", "--packets", "400", "--shards", "2",
+                  "--trace-out", str(tmp_path / "trace.json")])
+        with pytest.raises(SystemExit):
+            main(["loopback", "--packets", "400", "--shards", "2",
+                  "--same-socket"])
+
+    def test_loopback_sharded_metrics_out(self, capsys, tmp_path):
+        import json
+
+        path = str(tmp_path / "metrics.json")
+        assert main(["loopback", "--packets", "400", "--inflight", "8",
+                     "--batch", "4", "--shards", "2",
+                     "--metrics-out", path]) == 0
+        doc = json.loads(open(path).read())
+        assert "fabric" in doc["metrics"]
+
+    def test_kv_sharded_requires_single_interface(self, capsys):
+        # The default --interface both compares interfaces in one process;
+        # a sharded run needs a single concrete interface.
+        with pytest.raises(SystemExit):
+            main(["kv", "--shards", "2", "--ops", "200"])
+
+    def test_kv_sharded_with_ops_alias(self, capsys):
+        assert main(["kv", "--shards", "2", "--interface", "ccnic",
+                     "--ops", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "merged fingerprint" in out
+
+    def test_perf_unknown_scenario_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["perf", "--quick", "--scenario", "bogus"])
+
+    def test_perf_unknown_register_module_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["perf", "--quick", "--register", "no.such.module"])
+
+    def test_perf_runs_registered_scenario(self, capsys, tmp_path, monkeypatch):
+        import sys
+
+        from repro.shard import scenario_names, unregister_scenario
+
+        (tmp_path / "cli_custom_scn.py").write_text(
+            "from repro.shard import ScenarioSpec, register_scenario\n"
+            "register_scenario(ScenarioSpec(\n"
+            "    name='cli_custom', n_packets=240, n_packets_quick=120,\n"
+            "    shards=2))\n"
+        )
+        monkeypatch.syspath_prepend(str(tmp_path))
+        try:
+            assert main(["perf", "--quick", "--register", "cli_custom_scn",
+                         "--scenario", "cli_custom", "--compare", "none",
+                         "--out", str(tmp_path / "bench.json")]) == 0
+            out = capsys.readouterr().out
+            assert "cli_custom" in out
+        finally:
+            unregister_scenario("cli_custom")
+            sys.modules.pop("cli_custom_scn", None)
+        assert "cli_custom" not in scenario_names()

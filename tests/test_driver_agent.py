@@ -19,7 +19,7 @@ def make(config=None):
 class TestDriverValidation:
     def test_tx_without_payload_rejected(self):
         _system, _nic, driver = make()
-        bufs, _ = driver.alloc([64])
+        bufs = driver.alloc([64]).bufs
         with pytest.raises(NicError):
             driver.tx_burst([(bufs[0], Packet(size=64))])
 
@@ -30,9 +30,9 @@ class TestDriverValidation:
 
     def test_rx_burst_empty_queue(self):
         _system, _nic, driver = make()
-        got, ns = driver.rx_burst(8)
-        assert got == []
-        assert ns > 0  # the signal poll still costs
+        rx = driver.rx_burst(8)
+        assert rx.count == 0
+        assert rx.ns > 0  # the signal poll still costs
 
     def test_housekeeping_noop_with_shared_management(self):
         _system, _nic, driver = make()
@@ -44,7 +44,7 @@ class TestVisibility:
         """A consumer polling at the exact submission instant must not
         see descriptors whose producer time has not elapsed."""
         system, nic, driver = make()
-        bufs, _ = driver.alloc([64])
+        bufs = driver.alloc([64]).bufs
         driver.write_payload(bufs[0], 64)
         driver.tx_burst([(bufs[0], Packet(size=64))], base_ns=500.0)
         pair = nic.pair(0)
@@ -62,16 +62,16 @@ class TestBackpressure:
         # Fill the ring without letting the NIC run (no sim.run yet).
         accepted_total = 0
         for _ in range(4):
-            bufs, _ = driver.alloc([64] * 4)
+            bufs = driver.alloc([64] * 4).bufs
             for buf in bufs:
                 driver.write_payload(buf, 64)
-            sent, _ = driver.tx_burst([(b, Packet(size=64)) for b in bufs])
+            sent = driver.tx_burst([(b, Packet(size=64)) for b in bufs]).count
             accepted_total += sent
         assert accepted_total == 8  # ring capacity
 
     def test_recovery_after_drain(self):
         system, nic, driver = make(CcnicConfig(ring_slots=8))
-        bufs, _ = driver.alloc([64] * 8)
+        bufs = driver.alloc([64] * 8).bufs
         for buf in bufs:
             driver.write_payload(buf, 64)
         driver.tx_burst([(b, Packet(size=64)) for b in bufs])
@@ -80,25 +80,25 @@ class TestBackpressure:
 
         def app():
             while len(received) < 8:
-                got, ns = driver.rx_burst(8)
-                received.extend(got)
-                yield max(ns, 1.0)
+                rx = driver.rx_burst(8)
+                received.extend(rx.entries)
+                yield max(rx.ns, 1.0)
 
         system.sim.spawn(app(), "drain")
         system.sim.run(until=1e7, stop_when=lambda: len(received) >= 8)
         assert len(received) == 8
         # Ring space is free again.
-        bufs2, _ = driver.alloc([64] * 4)
+        bufs2 = driver.alloc([64] * 4).bufs
         for buf in bufs2:
             driver.write_payload(buf, 64)
-        sent, _ = driver.tx_burst([(b, Packet(size=64)) for b in bufs2])
+        sent = driver.tx_burst([(b, Packet(size=64)) for b in bufs2]).count
         assert sent == 4
 
 
 class TestAgentAccounting:
     def test_busy_time_accumulates(self):
         system, nic, driver = make()
-        bufs, _ = driver.alloc([64] * 4)
+        bufs = driver.alloc([64] * 4).bufs
         for buf in bufs:
             driver.write_payload(buf, 64)
         driver.tx_burst([(b, Packet(size=64)) for b in bufs])
@@ -110,7 +110,7 @@ class TestAgentAccounting:
     def test_wire_preserves_order(self):
         system, nic, driver = make()
         pkts = []
-        bufs, _ = driver.alloc([64] * 4)
+        bufs = driver.alloc([64] * 4).bufs
         for buf in bufs:
             driver.write_payload(buf, 64)
             pkts.append(Packet(size=64))
@@ -119,9 +119,9 @@ class TestAgentAccounting:
 
         def app():
             while len(received) < 4:
-                got, ns = driver.rx_burst(8)
-                received.extend(p for p, _b in got)
-                yield max(ns, 1.0)
+                rx = driver.rx_burst(8)
+                received.extend(p for p, _b in rx.entries)
+                yield max(rx.ns, 1.0)
 
         system.sim.spawn(app(), "order")
         system.sim.run(until=1e7, stop_when=lambda: len(received) >= 4)

@@ -5,7 +5,8 @@ import json
 import pytest
 
 from repro.analysis.loopback import InterfaceKind, build_interface, run_point
-from repro.analysis.perf import _fingerprint, _system_snapshot
+from repro.analysis.perf import _fingerprint
+from repro.shard.runner import _system_snapshot
 from repro.analysis.profile import attach_recorder, detach_recorder, run_profile
 from repro.obs import (
     STAGES,
