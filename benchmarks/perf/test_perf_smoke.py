@@ -7,6 +7,7 @@ fails fast locally too.
 
 import json
 
+import repro.topology  # noqa: F401  registers the rack topology scenarios
 from repro.analysis import perf
 
 
@@ -57,6 +58,21 @@ def test_quick_sharded_run_matches_single_process():
     assert entry["n_shards"] == 8  # partition is fixed by the scenario
     assert entry["deterministic"] is True
     assert entry["single_process"]["fingerprint"] == entry["fingerprint"]
+    baseline = perf.load_baseline()
+    assert baseline is not None
+    assert perf.check_regression(doc, baseline) == []
+
+
+def test_quick_rack_kv_sharded_matches_single_process():
+    doc = perf.run_suite(
+        ["kv_rack_zipf"], quick=True, compare=("kv_rack_zipf",), shards=2
+    )
+    entry = doc["scenarios"]["kv_rack_zipf"]
+    assert entry["n_shards"] == 8  # one shard per rack host
+    assert entry["deterministic"] is True
+    assert entry["single_process"]["fingerprint"] == entry["fingerprint"]
+    # Per-edge fabric counters ride along in the BENCH document.
+    assert entry["topology"]["h0~tor0:0:messages"] > 0
     baseline = perf.load_baseline()
     assert baseline is not None
     assert perf.check_regression(doc, baseline) == []

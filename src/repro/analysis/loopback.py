@@ -122,8 +122,13 @@ def run_point(
     recovery=None,
     max_sim_ns: float = 1e9,
     flight=None,
+    route=None,
 ) -> LoopbackResult:
-    """Run one loopback measurement on a built setup."""
+    """Run one loopback measurement on a built setup.
+
+    ``route`` is an optional per-packet rack-fabric charge (see
+    :attr:`repro.workloads.trafficgen.LoopbackApp.route`).
+    """
     return run_loopback(
         setup.system,
         setup.driver,
@@ -137,6 +142,7 @@ def run_point(
         recovery=recovery,
         max_sim_ns=max_sim_ns,
         flight=flight,
+        route=route,
     )
 
 

@@ -75,9 +75,12 @@ class PerfMeasurement:
     slowpath: bool
     n_shards: int = 1
     workers: int = 1
+    #: Merged per-edge fabric counters (``edge:dir:field`` -> value) when
+    #: the scenario runs on a :mod:`repro.topology` graph; None otherwise.
+    topology: Optional[Dict[str, float]] = None
 
     def to_doc(self) -> Dict:
-        return {
+        doc = {
             "wall_s": round(self.wall_s, 4),
             "events": self.events,
             "events_per_sec": round(self.events_per_sec, 1),
@@ -88,6 +91,9 @@ class PerfMeasurement:
             "workers": self.workers,
             "extra": self.extra,
         }
+        if self.topology is not None:
+            doc["topology"] = self.topology
+        return doc
 
 
 def _peak_rss_kb() -> int:
@@ -151,6 +157,7 @@ def run_scenario(
         slowpath=slowpath,
         n_shards=run.n_shards,
         workers=run.workers,
+        topology=run.doc["merged"].get("topology"),
     )
 
 

@@ -137,12 +137,25 @@ class KvServerApp:
         self.server_ops = 0
 
     # ------------------------------------------------------------------
+    # Network-path hooks: a rack deployment (repro.apps.rack) charges
+    # the ToR -> host fabric leg on each request and the host -> ToR leg
+    # on each response. The single-box base case pays 0.0 on both.
+    def _ingress_ns(self, pkt: Packet) -> float:
+        """Extra delay before a request reaches this server's queue."""
+        return 0.0
+
+    def _egress_ns(self, pkt: Packet) -> float:
+        """Extra delay before a response reaches the client side."""
+        return 0.0
+
+    # ------------------------------------------------------------------
     def client(self):
         """Open-loop request injector (the remote client machines)."""
         interval = 1e3 / self.offered_mops
         sent = 0
         sim = self.setup.system.sim
         inject = self._injector()
+        ingress = self._ingress_ns
         while sent < self.n_ops:
             burst = min(self.batch, self.n_ops - sent)
             key_base = self.workload.key_base
@@ -154,7 +167,7 @@ class KvServerApp:
                 )
                 pkt = Packet(size=size, tx_ns=sim.now, flow=key_base + key)
                 pkt.is_get = is_get  # type: ignore[attr-defined]
-                inject(pkt, sim.now)
+                inject(pkt, sim.now + ingress(pkt))
                 sent += 1
             yield interval * burst
 
@@ -166,8 +179,10 @@ class KvServerApp:
 
     def _attach_sink(self) -> None:
         result = self.result
+        egress = self._egress_ns
 
         def sink(pkt: Packet, when: float) -> None:
+            when += egress(pkt)
             result.ops += 1
             if result.ops > self.warmup:
                 if self._window_start is None:

@@ -130,10 +130,21 @@ def lint_source(
 
 
 def _taxonomy_names(root: str) -> frozenset:
-    """Exception names defined by ``<root>/errors.py``."""
-    errors_path = os.path.join(root, "errors.py")
-    if not os.path.isfile(errors_path):
-        raise LintError(f"no errors.py under {root!r}; cannot build taxonomy")
+    """Exception names defined by ``errors.py`` at or above ``root``.
+
+    Walking up lets a subsystem-scoped lint (``--root
+    src/repro/topology``) share the package-level taxonomy.
+    """
+    probe = os.path.abspath(root)
+    errors_path = os.path.join(probe, "errors.py")
+    while not os.path.isfile(errors_path):
+        parent = os.path.dirname(probe)
+        if parent == probe:
+            raise LintError(
+                f"no errors.py at or above {root!r}; cannot build taxonomy"
+            )
+        probe = parent
+        errors_path = os.path.join(probe, "errors.py")
     with open(errors_path) as fh:
         tree = ast.parse(fh.read(), filename=errors_path)
     names = set()

@@ -38,7 +38,7 @@ from typing import List, Optional
 from repro.analysis import InterfaceKind, format_table
 from repro.analysis.loopback import build_interface, run_point, wire_bytes_per_packet
 from repro.core.recovery import RecoveryPolicy
-from repro.errors import SanitizerError
+from repro.errors import ConfigError, SanitizerError
 from repro.faults import FAULT_KINDS, FaultInjector, FaultPlan
 from repro.obs import (
     FlightRecorder,
@@ -381,21 +381,24 @@ def _loopback_sharded(args: argparse.Namespace) -> int:
         "--sanitize-out": (args.sanitize_out, None),
     })
     _check_writable(args.metrics_out)
-    spec = ScenarioSpec(
-        name=f"loopback_cli_{args.size}b",
-        workload="loopback",
-        platform=args.platform,
-        interface=args.interface,
-        pkt_size=args.size,
-        n_packets=args.packets,
-        inflight=None if args.rate else args.inflight,
-        offered_mpps=args.rate,
-        tx_batch=args.batch,
-        rx_batch=args.batch,
-        fault_plan=args.fault_plan,
-        fault_seed=args.fault_seed,
-        shards=args.shards,
-    ).validate()
+    try:
+        spec = ScenarioSpec(
+            name=f"loopback_cli_{args.size}b",
+            workload="loopback",
+            platform=args.platform,
+            interface=args.interface,
+            pkt_size=args.size,
+            n_packets=args.packets,
+            inflight=None if args.rate else args.inflight,
+            offered_mpps=args.rate,
+            tx_batch=args.batch,
+            rx_batch=args.batch,
+            fault_plan=args.fault_plan,
+            fault_seed=args.fault_seed,
+            shards=args.shards,
+        ).validate()
+    except ConfigError as exc:
+        raise SystemExit(f"error: {exc}")
     run = run_sharded(
         spec, with_metrics=args.metrics_out is not None, progress=print
     )
@@ -618,18 +621,21 @@ def _kv_sharded(args: argparse.Namespace) -> int:
         "--sanitize-out": (args.sanitize_out, None),
     })
     _check_writable(args.metrics_out)
-    spec = ScenarioSpec(
-        name=f"kv_cli_{args.distribution}",
-        workload="kv",
-        platform=args.platform,
-        interface=args.interface,
-        distribution=args.distribution,
-        n_ops=args.packets,
-        tx_batch=args.batch,
-        fault_plan=args.fault_plan,
-        fault_seed=args.fault_seed,
-        shards=args.shards,
-    ).validate()
+    try:
+        spec = ScenarioSpec(
+            name=f"kv_cli_{args.distribution}",
+            workload="kv",
+            platform=args.platform,
+            interface=args.interface,
+            distribution=args.distribution,
+            n_ops=args.packets,
+            tx_batch=args.batch,
+            fault_plan=args.fault_plan,
+            fault_seed=args.fault_seed,
+            shards=args.shards,
+        ).validate()
+    except ConfigError as exc:
+        raise SystemExit(f"error: {exc}")
     run = run_sharded(
         spec, with_metrics=args.metrics_out is not None, progress=print
     )
@@ -825,9 +831,9 @@ def cmd_forwarding(args: argparse.Namespace) -> int:
 def cmd_perf(args: argparse.Namespace) -> int:
     import importlib
 
+    import repro.topology  # noqa: F401  registers the rack topology scenarios
     from repro.analysis import perf
-    from repro.errors import ConfigError
-    from repro.shard import scenario_names
+    from repro.shard import scenario, scenario_names
 
     for module in args.register or ():
         # Imported for its register_scenario() side effects: the module's
@@ -850,8 +856,19 @@ def cmd_perf(args: argparse.Namespace) -> int:
         compare = tuple(scenarios)
     else:
         compare = ("loopback_64b",) if "loopback_64b" in scenarios else ()
-    if args.shards is not None and args.shards < 1:
-        raise SystemExit("error: --shards must be >= 1")
+    if args.shards is not None:
+        # Fail before any scenario runs: a worker count wider than a
+        # scenario's fixed partition cannot be satisfied, only silently
+        # clamped — which would misreport the benchmark configuration.
+        if args.shards < 1:
+            raise SystemExit("error: --shards must be >= 1")
+        for name in scenarios:
+            width = scenario(name).shards
+            if args.shards > width:
+                raise SystemExit(
+                    f"error: --shards {args.shards} exceeds the fixed "
+                    f"partition of scenario {name!r} ({width} shard(s))"
+                )
     try:
         doc = perf.run_suite(
             scenarios, quick=args.quick, compare=compare, repeat=args.repeat,
@@ -1027,10 +1044,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_shard_args(pf)
     pf.add_argument(
-        "--compare", default="loopback", choices=["none", "loopback", "all"],
+        "--compare", nargs="?", const="all", default="loopback",
+        choices=["none", "loopback", "all"],
         help="which scenarios also run the determinism comparison: against "
              "REPRO_SIM_SLOWPATH=1, or against a single-process rerun when "
-             "--shards is set (default: loopback)",
+             "--shards is set (default: loopback; bare --compare means all)",
     )
     pf.add_argument("--out", default="BENCH_sim_perf.json", metavar="FILE")
     pf.add_argument("--baseline", default="benchmarks/perf/baseline.json",

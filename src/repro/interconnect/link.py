@@ -52,9 +52,7 @@ class LinkStats:
         agg[1] += payload
         agg[2] += wire
         agg[3] += ser_ns
-        entry = self._per_class.get(cls.value)
-        if entry is None:
-            self._per_class[cls.value] = entry = [0, 0]
+        entry = self.class_cell(cls)
         entry[0] += 1
         entry[1] += wire
 
@@ -90,6 +88,29 @@ class LinkStats:
         if entry is None:
             self._per_class[cls.value] = entry = [0, 0]
         return entry
+
+    def snapshot(self) -> Dict:
+        """The canonical dict form of one direction's counters.
+
+        Every consumer of per-direction stats — shard snapshots, the
+        topology per-edge export — uses this shape, so the keys are part
+        of the merged-document fingerprint contract:
+        ``messages``/``payload``/``wire``/``busy`` merge as sums and the
+        two ``*_class`` maps merge key-wise (see
+        :func:`repro.shard.merge._merge_link`).
+        """
+        return {
+            "messages": self.agg[0],
+            "payload": self.agg[1],
+            "wire": self.agg[2],
+            "busy": self.agg[3],
+            "by_class": self.by_class,
+            "wire_by_class": self.wire_by_class,
+        }
+
+    def to_doc(self) -> Dict:
+        """Alias of :meth:`snapshot` (JSON-safe plain dict)."""
+        return self.snapshot()
 
 
 class Link:

@@ -22,6 +22,8 @@ SANITIZE_SCHEMA = "repro.check/sanitize-v1"
 
 LINT_SCHEMA = "repro.check/lint-v1"
 
+TOPOLOGY_SCHEMA = "repro.topology/stats-v1"
+
 
 def metrics_rows(registry) -> List[Tuple[str, str, float]]:
     """Flatten a registry snapshot into sorted (component, metric, value) rows."""
@@ -135,6 +137,22 @@ def export_sanitize_json(report: Dict[str, Any], path: str) -> Dict[str, Any]:
 def load_sanitize_json(path: str) -> Dict[str, Any]:
     """Read a sanitizer report back; rejects foreign schemas."""
     return _load_stamped_json(path, SANITIZE_SCHEMA, "sanitizer")
+
+
+def export_topology_json(report: Dict[str, Any], path: str) -> Dict[str, Any]:
+    """Write a per-edge topology stats report as JSON.
+
+    ``report`` comes from
+    :meth:`repro.topology.net.TopologyNet.stats_report`, which builds
+    each edge's entry from :meth:`LinkStats.to_doc` — no caller
+    hand-rolls the dict shape.
+    """
+    return _export_stamped_json(report, path, TOPOLOGY_SCHEMA, "topology")
+
+
+def load_topology_json(path: str) -> Dict[str, Any]:
+    """Read a topology stats report back; rejects foreign schemas."""
+    return _load_stamped_json(path, TOPOLOGY_SCHEMA, "topology")
 
 
 def export_lint_json(report: Dict[str, Any], path: str) -> Dict[str, Any]:

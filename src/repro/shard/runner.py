@@ -72,12 +72,68 @@ def _make_faults(spec: ScenarioSpec):
 
 
 def lookahead_ns(spec: ScenarioSpec) -> float:
-    """Conservative-DES lookahead: interconnect one-way latency."""
+    """Conservative-DES lookahead: the earliest cross-shard arrival.
+
+    For single-box scenarios that is the host-NIC interconnect's one-way
+    latency. A topology scenario's shards are whole hosts, so the bound
+    tightens to the fastest rack edge when one is faster — the soonest
+    any cross-host message *could* arrive (none does: per-host fabric
+    occupancy is charged shard-locally, see ``docs/TOPOLOGY.md``).
+    """
     platform = _platform_spec(spec.platform)
     kind = InterfaceKind(spec.interface)
     if kind.is_coherent:
-        return platform.upi_latency_ns
-    return platform.nic(kind.value).pcie_one_way_ns
+        base = platform.upi_latency_ns
+    else:
+        base = platform.nic(kind.value).pcie_one_way_ns
+    if spec.topology is not None:
+        from repro.topology.registry import topology
+
+        edge_min = min(e.latency_ns for e in topology(spec.topology).edges)
+        base = min(base, edge_min)
+    return base
+
+
+def _attach_topology(spec: ScenarioSpec, setup, faults, obs):
+    """Build the shard's rack fabric, or None for single-box specs.
+
+    Each shard instantiates its own :class:`TopologyNet` on its own
+    simulator: the per-edge occupancy a shard observes is the traffic it
+    charges itself, which is what keeps shards independent (and the
+    merged per-edge stats are the element-wise sums over hosts).
+    """
+    if spec.topology is None:
+        return None
+    from repro.topology.net import TopologyNet
+    from repro.topology.registry import topology
+
+    net = TopologyNet(setup.system.sim, topology(spec.topology))
+    if faults is not None:
+        net.attach_faults(faults)
+    if obs is not None and obs.enabled:
+        net.publish_metrics(obs.metrics)
+    return net
+
+
+def _topology_endpoints(spec: ScenarioSpec, net) -> tuple:
+    """(host, tor) node names this shard's traffic terminates on."""
+    hosts = net.spec.host_names()
+    index = spec.host_index if spec.host_index is not None else 0
+    return hosts[index], net.spec.tor_name()
+
+
+def _loopback_route(net, host: str, tor: str):
+    """Per-packet rack round trip: host -> ToR -> host, charge-at-RX."""
+    from repro.interconnect.messages import MessageClass
+
+    charge = net.router.charge
+
+    def route(pkt) -> float:
+        out = charge(host, tor, MessageClass.DMA_WRITE, pkt.size, actor=host)
+        back = charge(tor, host, MessageClass.DMA_WRITE, pkt.size, actor=tor)
+        return out + back
+
+    return route
 
 
 def _execute_loopback(spec: ScenarioSpec, quick: bool, obs) -> Dict:
@@ -89,6 +145,11 @@ def _execute_loopback(spec: ScenarioSpec, quick: bool, obs) -> Dict:
         faults=faults,
     )
     recovery = RecoveryPolicy() if faults is not None else None
+    net = _attach_topology(spec, setup, faults, obs)
+    route = None
+    if net is not None:
+        host, tor = _topology_endpoints(spec, net)
+        route = _loopback_route(net, host, tor)
     start = time.perf_counter()  # repro: allow(wall-clock) host benchmark timing
     result = run_point(
         setup,
@@ -100,6 +161,7 @@ def _execute_loopback(spec: ScenarioSpec, quick: bool, obs) -> Dict:
         rx_batch=spec.rx_batch,
         obs=obs,
         recovery=recovery,
+        route=route,
     )
     wall = time.perf_counter() - start  # repro: allow(wall-clock) host benchmark timing
     system = setup.system
@@ -111,6 +173,8 @@ def _execute_loopback(spec: ScenarioSpec, quick: bool, obs) -> Dict:
         "p99_ns": result.latency.percentile(99),
         **_system_snapshot(system),
     }
+    if net is not None:
+        snapshot["topology"] = net.stats_flat()
     extra = {"packets": float(result.received), "mpps": result.mpps}
     if faults is not None:
         snapshot["faults"] = faults.counters.snapshot()
@@ -139,13 +203,31 @@ def _execute_kv(spec: ScenarioSpec, quick: bool, obs) -> Dict:
         seed=spec.seed,
         key_base=spec.key_base,
     )
-    app = KvServerApp(
-        setup,
-        workload,
-        offered_mops=spec.offered_mops,
-        n_ops=spec.count(quick),
-        batch=spec.tx_batch,
-    )
+    net = _attach_topology(spec, setup, faults, obs)
+    if net is not None:
+        from repro.apps.rack import RackKvApp
+
+        host, tor = _topology_endpoints(spec, net)
+        app = RackKvApp(
+            setup,
+            workload,
+            offered_mops=spec.offered_mops,
+            n_ops=spec.count(quick),
+            batch=spec.tx_batch,
+            router=net.router,
+            host=host,
+            tor=tor,
+            n_clients=spec.n_clients,
+            seed=spec.seed,
+        )
+    else:
+        app = KvServerApp(
+            setup,
+            workload,
+            offered_mops=spec.offered_mops,
+            n_ops=spec.count(quick),
+            batch=spec.tx_batch,
+        )
     start = time.perf_counter()  # repro: allow(wall-clock) host benchmark timing
     result = app.run()
     wall = time.perf_counter() - start  # repro: allow(wall-clock) host benchmark timing
@@ -157,6 +239,9 @@ def _execute_kv(spec: ScenarioSpec, quick: bool, obs) -> Dict:
         "p99_ns": result.latency.percentile(99),
         **_system_snapshot(system),
     }
+    if net is not None:
+        snapshot["topology"] = net.stats_flat()
+        snapshot["clients"] = app.clients_seen()
     extra = {"ops": float(result.ops), "mops": result.mops}
     return _result_doc(spec, wall, system, snapshot, result.latency.samples(), extra)
 
@@ -167,17 +252,7 @@ def _system_snapshot(system) -> Dict:
         "counters": system.fabric.snapshot_counters(),
         "events": system.sim.events_executed,
         "now": system.sim.now,
-        "link": [
-            {
-                "messages": st.messages,
-                "payload": st.payload_bytes,
-                "wire": st.wire_bytes,
-                "busy": st.busy_ns,
-                "by_class": st.by_class,
-                "wire_by_class": st.wire_by_class,
-            }
-            for st in system.link.stats
-        ],
+        "link": [st.snapshot() for st in system.link.stats],
     }
 
 

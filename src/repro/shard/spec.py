@@ -24,6 +24,12 @@ the **scenario**, not of the machine executing it: however many worker
 processes run the shards, the per-shard runs — and therefore the merged
 metrics — are identical.
 
+A spec naming a registered :mod:`repro.topology` graph partitions
+per *host* instead: the partition width equals the topology's host
+count and shard ``i`` simulates host ``i`` (``host_index``), including
+that host's slice of the key space and its routes through the rack
+fabric.
+
 The registry
 ------------
 
@@ -90,6 +96,10 @@ class ScenarioSpec:
     fault_plan: Optional[str] = None   # None, "canned", or a plan path
     fault_seed: int = 7
     shards: int = 1                    # logical partition width
+    # -- multi-host topology (repro.topology) ---------------------------
+    topology: Optional[str] = None     # registered TopologySpec name
+    host_index: Optional[int] = None   # which topology host a shard models
+    n_clients: int = 0                 # simulated client hosts behind the ToR
 
     # ------------------------------------------------------------------
     def validate(self) -> "ScenarioSpec":
@@ -115,19 +125,64 @@ class ScenarioSpec:
             raise ConfigError("shards must be >= 1")
         if self.workload == "loopback":
             if self.n_packets < self.shards:
-                raise ConfigError("n_packets must be >= shards")
+                raise ConfigError(
+                    f"scenario {self.name!r}: n_packets ({self.n_packets}) "
+                    f"cannot cover the partition ({self.shards} shards)"
+                )
             if self.pkt_size <= 0:
                 raise ConfigError("pkt_size must be positive")
         else:
             if self.n_ops < self.shards:
-                raise ConfigError("n_ops must be >= shards")
+                raise ConfigError(
+                    f"scenario {self.name!r}: n_ops ({self.n_ops}) "
+                    f"cannot cover the partition ({self.shards} shards)"
+                )
             if self.n_keys < self.shards:
-                raise ConfigError("n_keys must be >= shards")
+                raise ConfigError(
+                    f"scenario {self.name!r}: n_keys ({self.n_keys}) "
+                    f"cannot cover the partition ({self.shards} shards)"
+                )
             if self.distribution not in ("ads", "geo"):
                 raise ConfigError(
                     f"unknown distribution {self.distribution!r} (ads or geo)"
                 )
+        self._validate_topology()
         return self
+
+    def _validate_topology(self) -> None:
+        if self.n_clients < 0:
+            raise ConfigError("n_clients must be >= 0")
+        if self.topology is None:
+            if self.host_index is not None:
+                raise ConfigError(
+                    f"scenario {self.name!r}: host_index requires a topology"
+                )
+            return
+        # Lazy: repro.topology registers its scenarios through this
+        # module, so the import must not run at module load time.
+        from repro.topology.registry import topology as _topology
+
+        topo = _topology(self.topology)
+        n_hosts = len(topo.host_names())
+        if self.host_index is None:
+            # A whole-scenario spec partitions per host: shard i models
+            # host i, so the partition width is the host count.
+            if self.shards != n_hosts:
+                raise ConfigError(
+                    f"scenario {self.name!r}: topology {self.topology!r} has "
+                    f"{n_hosts} host(s), so the partition needs shards == "
+                    f"{n_hosts} (got {self.shards})"
+                )
+        elif not 0 <= self.host_index < n_hosts:
+            raise ConfigError(
+                f"scenario {self.name!r}: host_index {self.host_index} out of "
+                f"range for topology {self.topology!r} ({n_hosts} host(s))"
+            )
+        if self.workload == "kv" and self.n_clients < 1:
+            raise ConfigError(
+                f"scenario {self.name!r}: a kv topology scenario needs "
+                f"n_clients >= 1 (the simulated client hosts behind the ToR)"
+            )
 
     # ------------------------------------------------------------------
     # Serialization
@@ -208,6 +263,9 @@ class ScenarioSpec:
                 "n_packets": _split(self.n_packets, self.shards, index),
                 "n_ops": _split(self.n_ops, self.shards, index),
             }
+            if self.topology is not None:
+                # Per-host partition: shard i simulates topology host i.
+                changes["host_index"] = index
             if self.n_packets_quick is not None:
                 changes["n_packets_quick"] = _split(
                     self.n_packets_quick, self.shards, index

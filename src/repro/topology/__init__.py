@@ -1,0 +1,69 @@
+"""Multi-host coherent-fabric topologies (racks of CC-NIC hosts).
+
+The single-box platform model (:mod:`repro.platform`) scales out here:
+a typed graph of CC-NIC hosts, coherent switches, and one top-of-rack
+node (:mod:`~repro.topology.graph`), declarative generators for the
+standard shapes (:mod:`~repro.topology.generators`), deterministic
+shortest-path route tables (:mod:`~repro.topology.routing`), and a
+runtime net that charges cross-host messages hop-by-hop through real
+:class:`~repro.interconnect.link.Link` instances
+(:mod:`~repro.topology.net`).
+
+Importing this package registers the built-in topologies (``rack8``,
+``mesh_2x2``, ``torus_4x4``, ``fat_tree_4``) and the rack scenarios
+(``kv_rack_zipf``, ``mesh_2x2_loopback``) — the scenario registration
+order below matters: scenario validation resolves topology names, so
+topologies must be registered first. See ``docs/TOPOLOGY.md``.
+"""
+
+from repro.topology.generators import (
+    FABRIC_EDGE,
+    HOST_EDGE,
+    TOR_EDGE,
+    EdgePreset,
+    fat_tree,
+    mesh,
+    single_switch,
+    torus,
+)
+from repro.topology.graph import EdgeSpec, NodeSpec, TopologySpec
+from repro.topology.net import Router, TopologyNet
+from repro.topology.registry import (
+    register_topology,
+    topology,
+    topology_descriptions,
+    topology_names,
+    unregister_topology,
+)
+from repro.topology.routing import RouteTables
+
+# Built-in topologies: registered before the scenarios that name them.
+register_topology(single_switch(8))          # "rack8"
+register_topology(mesh(2, 2))                # "mesh_2x2"
+register_topology(torus(4, 4))               # "torus_4x4"
+register_topology(fat_tree(4))               # "fat_tree_4"
+
+# Imported last, for its register_scenario() side effects.
+from repro.topology import scenarios as _scenarios  # noqa: E402,F401
+
+__all__ = [
+    "EdgePreset",
+    "EdgeSpec",
+    "FABRIC_EDGE",
+    "HOST_EDGE",
+    "NodeSpec",
+    "RouteTables",
+    "Router",
+    "TOR_EDGE",
+    "TopologyNet",
+    "TopologySpec",
+    "fat_tree",
+    "mesh",
+    "register_topology",
+    "single_switch",
+    "topology",
+    "topology_descriptions",
+    "topology_names",
+    "torus",
+    "unregister_topology",
+]

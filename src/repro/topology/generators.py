@@ -1,0 +1,206 @@
+"""Declarative topology generators and per-edge link presets.
+
+Each generator returns a validated :class:`~repro.topology.graph.TopologySpec`;
+nothing is instantiated until :class:`~repro.topology.net.TopologyNet`
+turns the edges into :class:`~repro.interconnect.link.Link` objects.
+
+Edge presets play the role :class:`~repro.platform.presets.PlatformSpec`
+plays intra-host: fixed latency/bandwidth points for each edge class of
+a CXL-style multi-device coherent fabric. Host ports are CXL 2.0 x16
+class (~64 GB/s usable), switch-to-switch fabric hops are wider and add
+a switch traversal, and the ToR uplink is the NIC-side fat pipe the
+rack's external traffic funnels through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigError
+from repro.topology.graph import EdgeSpec, NodeSpec, TopologySpec
+
+
+@dataclass(frozen=True)
+class EdgePreset:
+    """Latency/bandwidth point for one edge class."""
+
+    latency_ns: float
+    gbps: float
+    header_overhead: int = 12
+
+    def edge(self, a: str, b: str) -> EdgeSpec:
+        """An :class:`EdgeSpec` between ``a`` and ``b`` at this preset."""
+        return EdgeSpec(
+            a=a,
+            b=b,
+            latency_ns=self.latency_ns,
+            gbps=self.gbps,
+            header_overhead=self.header_overhead,
+        )
+
+
+#: Host <-> switch port: CXL 2.0 x16 class, one switch traversal.
+HOST_EDGE = EdgePreset(latency_ns=70.0, gbps=504.0)
+#: Switch <-> switch fabric hop: wider lanes, retimer + traversal.
+FABRIC_EDGE = EdgePreset(latency_ns=90.0, gbps=800.0)
+#: ToR uplink into the NIC-side fabric: the rack's fat pipe.
+TOR_EDGE = EdgePreset(latency_ns=60.0, gbps=1600.0)
+
+
+def _hosts(names: List[str]) -> List[NodeSpec]:
+    return [NodeSpec(name=name, kind="host") for name in names]
+
+
+def single_switch(
+    n_hosts: int,
+    name: str = "",
+    host_edge: EdgePreset = HOST_EDGE,
+) -> TopologySpec:
+    """``n_hosts`` CC-NIC hosts hanging off one ToR-resident switch.
+
+    The single switch *is* the top-of-rack node: every host is one hop
+    from the load balancer, which makes this the canonical rack shape
+    for the sharded KV scenarios.
+    """
+    if n_hosts < 1:
+        raise ConfigError("single_switch: n_hosts must be >= 1")
+    hosts = [f"h{i}" for i in range(n_hosts)]
+    return TopologySpec(
+        name=name or f"rack{n_hosts}",
+        nodes=tuple(_hosts(hosts) + [NodeSpec(name="tor0", kind="tor")]),
+        edges=tuple(host_edge.edge(host, "tor0") for host in hosts),
+        description=f"{n_hosts} hosts on one ToR-resident coherent switch",
+    ).validate()
+
+
+def _grid(
+    x: int,
+    y: int,
+    wrap: bool,
+    name: str,
+    host_edge: EdgePreset,
+    fabric_edge: EdgePreset,
+    tor_edge: EdgePreset,
+    description: str,
+) -> TopologySpec:
+    """Common body of :func:`mesh` and :func:`torus`."""
+    if x < 1 or y < 1:
+        raise ConfigError("mesh/torus dimensions must be >= 1")
+    nodes: List[NodeSpec] = []
+    edges: List[EdgeSpec] = []
+    for j in range(y):
+        for i in range(x):
+            nodes.append(NodeSpec(name=f"h{i}_{j}", kind="host"))
+    for j in range(y):
+        for i in range(x):
+            nodes.append(NodeSpec(name=f"s{i}_{j}", kind="switch"))
+            edges.append(host_edge.edge(f"h{i}_{j}", f"s{i}_{j}"))
+    seen = set()
+
+    def connect(ai: int, aj: int, bi: int, bj: int) -> None:
+        pair = tuple(sorted((f"s{ai}_{aj}", f"s{bi}_{bj}")))
+        if pair[0] == pair[1] or pair in seen:
+            return  # wraparound collapses onto an existing edge (dim <= 2)
+        seen.add(pair)
+        edges.append(fabric_edge.edge(f"s{ai}_{aj}", f"s{bi}_{bj}"))
+
+    for j in range(y):
+        for i in range(x):
+            if i + 1 < x:
+                connect(i, j, i + 1, j)
+            elif wrap:
+                connect(i, j, 0, j)
+            if j + 1 < y:
+                connect(i, j, i, j + 1)
+            elif wrap:
+                connect(i, j, i, 0)
+    nodes.append(NodeSpec(name="tor0", kind="tor"))
+    edges.append(tor_edge.edge("s0_0", "tor0"))
+    return TopologySpec(
+        name=name,
+        nodes=tuple(nodes),
+        edges=tuple(edges),
+        description=description,
+    ).validate()
+
+
+def mesh(
+    x: int,
+    y: int,
+    name: str = "",
+    host_edge: EdgePreset = HOST_EDGE,
+    fabric_edge: EdgePreset = FABRIC_EDGE,
+    tor_edge: EdgePreset = TOR_EDGE,
+) -> TopologySpec:
+    """An ``x`` by ``y`` switch mesh, one host per switch, ToR at (0,0)."""
+    return _grid(
+        x, y, wrap=False,
+        name=name or f"mesh_{x}x{y}",
+        host_edge=host_edge, fabric_edge=fabric_edge, tor_edge=tor_edge,
+        description=f"{x}x{y} coherent-switch mesh, one host per switch",
+    )
+
+
+def torus(
+    x: int,
+    y: int,
+    name: str = "",
+    host_edge: EdgePreset = HOST_EDGE,
+    fabric_edge: EdgePreset = FABRIC_EDGE,
+    tor_edge: EdgePreset = TOR_EDGE,
+) -> TopologySpec:
+    """A mesh with wraparound rows/columns (shorter worst-case paths)."""
+    return _grid(
+        x, y, wrap=True,
+        name=name or f"torus_{x}x{y}",
+        host_edge=host_edge, fabric_edge=fabric_edge, tor_edge=tor_edge,
+        description=f"{x}x{y} coherent-switch torus, one host per switch",
+    )
+
+
+def fat_tree(
+    k: int,
+    name: str = "",
+    host_edge: EdgePreset = HOST_EDGE,
+    fabric_edge: EdgePreset = FABRIC_EDGE,
+    tor_edge: EdgePreset = TOR_EDGE,
+) -> TopologySpec:
+    """A standard k-ary fat tree (k pods, k^3/4 hosts), ToR on core 0.
+
+    Pod ``p`` has ``k/2`` edge switches (``p<p>e<i>``) and ``k/2``
+    aggregation switches (``p<p>a<i>``); ``(k/2)^2`` core switches
+    (``c<i>``) join the pods. Each edge switch serves ``k/2`` hosts.
+    The ToR — where external rack traffic enters — hangs off core 0.
+    """
+    if k < 2 or k % 2:
+        raise ConfigError(f"fat_tree: k must be even and >= 2, got {k}")
+    half = k // 2
+    nodes: List[NodeSpec] = []
+    edges: List[EdgeSpec] = []
+    for p in range(k):
+        for e in range(half):
+            for h in range(half):
+                nodes.append(NodeSpec(name=f"p{p}e{e}h{h}", kind="host"))
+    for p in range(k):
+        for e in range(half):
+            nodes.append(NodeSpec(name=f"p{p}e{e}", kind="switch"))
+            for h in range(half):
+                edges.append(host_edge.edge(f"p{p}e{e}h{h}", f"p{p}e{e}"))
+        for a in range(half):
+            nodes.append(NodeSpec(name=f"p{p}a{a}", kind="switch"))
+            for e in range(half):
+                edges.append(fabric_edge.edge(f"p{p}e{e}", f"p{p}a{a}"))
+    for c in range(half * half):
+        nodes.append(NodeSpec(name=f"c{c}", kind="switch"))
+        # Core c connects to aggregation switch c // half of every pod.
+        for p in range(k):
+            edges.append(fabric_edge.edge(f"p{p}a{c // half}", f"c{c}"))
+    nodes.append(NodeSpec(name="tor0", kind="tor"))
+    edges.append(tor_edge.edge("c0", "tor0"))
+    return TopologySpec(
+        name=name or f"fat_tree_{k}",
+        nodes=tuple(nodes),
+        edges=tuple(edges),
+        description=f"k={k} fat tree ({k * half * half} hosts), ToR on core 0",
+    ).validate()

@@ -1,0 +1,204 @@
+"""Runtime topology: one Link per edge, plus a hop-by-hop Router.
+
+:class:`TopologyNet` instantiates the fabric a
+:class:`~repro.topology.graph.TopologySpec` describes on a live
+simulator: every edge becomes a real
+:class:`~repro.interconnect.link.Link` (named ``edge:<a>~<b>``), so
+cross-host traffic gets the same serialization, M/D/1 queueing,
+per-edge :class:`~repro.interconnect.link.LinkStats`, and fault-injector
+hooks intra-host coherence traffic gets today — nothing about the cost
+model is topology-specific.
+
+:class:`Router` walks the build-time
+:class:`~repro.topology.routing.RouteTables` and charges a message
+hop-by-hop through each edge's :meth:`Link.one_way` accounting. The
+timing contract is **charge-at-send**: every hop's wait + serialization
++ propagation is resolved against the sender's current window state, so
+the returned delay is a pure function of simulator state at the call —
+this is what keeps sharded runs bit-identical across worker counts and
+fast/slow engine paths (no fabric fast path is involved).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.interconnect.link import Link
+from repro.interconnect.messages import MessageClass
+from repro.obs.export import TOPOLOGY_SCHEMA
+from repro.topology.graph import TopologySpec
+from repro.topology.routing import RouteTables
+from repro.units import gbps_to_bytes_per_ns
+
+
+class TopologyNet:
+    """A topology spec instantiated on one simulator."""
+
+    def __init__(self, sim, spec: TopologySpec) -> None:
+        spec.validate()
+        self.sim = sim
+        self.spec = spec
+        self.tables = RouteTables.build(spec)
+        #: Edge label ("<a>~<b>") -> runtime Link ("edge:<a>~<b>").
+        self.links: Dict[str, Link] = {}
+        #: (src, dst) node pair -> (Link, direction) for one hop.
+        self._hop: Dict[Tuple[str, str], Tuple[Link, int]] = {}
+        for edge in spec.edges:
+            link = Link(
+                sim,
+                name=f"edge:{edge.name}",
+                latency_ns=edge.latency_ns,
+                bandwidth_bytes_per_ns=gbps_to_bytes_per_ns(edge.gbps),
+                header_overhead=edge.header_overhead,
+            )
+            self.links[edge.name] = link
+            self._hop[(edge.a, edge.b)] = (link, 0)
+            self._hop[(edge.b, edge.a)] = (link, 1)
+        self.router = Router(self)
+
+    # ------------------------------------------------------------------
+    def hop(self, src: str, dst: str) -> Tuple[Link, int]:
+        """The (link, direction) carrying one ``src -> dst`` hop."""
+        try:
+            return self._hop[(src, dst)]
+        except KeyError:
+            raise ConfigError(
+                f"topology {self.spec.name!r}: no edge between "
+                f"{src!r} and {dst!r}"
+            )
+
+    def attach_faults(self, faults) -> None:
+        """Attach one fault injector to every edge link.
+
+        Plan events with ``target="edge:<a>~<b>"`` hit one edge;
+        untargeted link events hit the whole fabric.
+        """
+        for edge in self.spec.edges:
+            self.links[edge.name].faults = faults
+
+    def reset_stats(self) -> None:
+        for edge in self.spec.edges:
+            self.links[edge.name].reset_stats()
+
+    # ------------------------------------------------------------------
+    # Snapshots and export
+    # ------------------------------------------------------------------
+    def stats_flat(self) -> Dict[str, float]:
+        """Flat ``{"<edge>:<dir>:<field>": value}`` per-edge counters.
+
+        Flat by contract: a sharded run's snapshot merges this dict with
+        the key-wise-sum reduction of
+        :func:`repro.shard.merge._merge_scalar_maps`, so the values must
+        be plain numbers and the keys stable strings.
+        """
+        flat: Dict[str, float] = {}
+        for edge in self.spec.edges:
+            link = self.links[edge.name]
+            for direction in (0, 1):
+                stats = link.stats[direction]
+                prefix = f"{edge.name}:{direction}"
+                flat[f"{prefix}:messages"] = stats.messages
+                flat[f"{prefix}:wire"] = stats.wire_bytes
+                flat[f"{prefix}:busy"] = stats.busy_ns
+        return flat
+
+    def stats_report(self, config: Optional[Dict] = None) -> Dict:
+        """Schema-stamped per-edge report for ``obs.export_topology_json``."""
+        return {
+            "schema": TOPOLOGY_SCHEMA,
+            "topology": self.spec.name,
+            "edges": {
+                edge.name: [
+                    self.links[edge.name].stats[0].to_doc(),
+                    self.links[edge.name].stats[1].to_doc(),
+                ]
+                for edge in self.spec.edges
+            },
+            "config": config or {},
+        }
+
+    def publish_metrics(self, registry) -> None:
+        """Register per-edge collector gauges under ``topology.*``.
+
+        Collector gauges read the live :class:`LinkStats` lazily at
+        snapshot time, so publishing adds zero cost to the per-message
+        hot path.
+        """
+        for edge in self.spec.edges:
+            link = self.links[edge.name]
+            for direction in (0, 1):
+                stats = link.stats[direction]
+                prefix = f"{edge.name}.{direction}"
+                registry.gauge(
+                    "topology", f"{prefix}.messages",
+                    fn=lambda s=stats: float(s.messages),
+                )
+                registry.gauge(
+                    "topology", f"{prefix}.wire_bytes",
+                    fn=lambda s=stats: float(s.wire_bytes),
+                )
+                registry.gauge(
+                    "topology", f"{prefix}.busy_ns",
+                    fn=lambda s=stats: s.busy_ns,
+                )
+
+
+class Router:
+    """Charges messages along shortest paths, one Link hop at a time."""
+
+    def __init__(self, net: TopologyNet) -> None:
+        self.net = net
+        # (src, dst) -> tuple of (link, direction) hops; filled lazily,
+        # pure derivation from the route tables so caching is safe.
+        self._paths: Dict[Tuple[str, str], Tuple[Tuple[Link, int], ...]] = {}
+
+    def path_hops(self, src: str, dst: str) -> Tuple[Tuple[Link, int], ...]:
+        """The (link, direction) sequence of the ``src -> dst`` route."""
+        key = (src, dst)
+        hops = self._paths.get(key)
+        if hops is None:
+            nodes = self.net.tables.path(src, dst)
+            hops = tuple(
+                self.net.hop(a, b) for a, b in zip(nodes, nodes[1:])
+            )
+            self._paths[key] = hops
+        return hops
+
+    def hop_count(self, src: str, dst: str) -> int:
+        return len(self.path_hops(src, dst))
+
+    def charge(
+        self,
+        src: str,
+        dst: str,
+        cls: MessageClass,
+        payload_bytes: Optional[int] = None,
+        actor: str = "net",
+    ) -> float:
+        """Deliver one message ``src -> dst``; return the total delay.
+
+        Every hop books wait + serialization + propagation through its
+        edge's :meth:`Link.one_way` at the *current* simulator time
+        (charge-at-send): per-edge occupancy, per-class stats, and any
+        attached fault injector all see the message exactly as intra-
+        host link traffic would.
+        """
+        total = 0.0
+        for link, direction in self.path_hops(src, dst):
+            total += link.one_way(
+                cls, direction, payload_bytes=payload_bytes, actor=actor
+            )
+        return total
+
+    def broadcast_from(
+        self, src: str, dsts: List[str], cls: MessageClass,
+        payload_bytes: Optional[int] = None, actor: str = "net",
+    ) -> float:
+        """Charge one copy per destination; return the slowest delivery."""
+        worst = 0.0
+        for dst in dsts:
+            delay = self.charge(src, dst, cls, payload_bytes, actor)
+            if delay > worst:
+                worst = delay
+        return worst

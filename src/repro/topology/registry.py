@@ -1,0 +1,52 @@
+"""Process-global registry of named topology specs.
+
+Mirrors the scenario registry in :mod:`repro.shard.spec`: built-in
+topologies are registered when :mod:`repro.topology` is imported, user
+topologies join via :func:`register_topology`, and
+:class:`~repro.shard.spec.ScenarioSpec` validation resolves its
+``topology`` field here — so a scenario naming an unregistered topology
+fails at registration time with the full list of known names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ConfigError
+from repro.topology.graph import TopologySpec
+
+_REGISTRY: Dict[str, TopologySpec] = {}
+
+
+def register_topology(spec: TopologySpec, replace: bool = False) -> TopologySpec:
+    """Add a named topology to the registry; returns it for chaining."""
+    spec.validate()
+    if not replace and spec.name in _REGISTRY:
+        raise ConfigError(f"topology {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister_topology(name: str) -> None:
+    """Remove a registered topology (primarily for tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def topology(name: str) -> TopologySpec:
+    """Look up a registered topology by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown topology {name!r} (choose from {', '.join(topology_names())})"
+        )
+
+
+def topology_names() -> List[str]:
+    """Registered topology names, in registration order."""
+    return list(_REGISTRY)
+
+
+def topology_descriptions() -> Dict[str, str]:
+    """``{name: description}`` for every registered topology."""
+    return {name: spec.description for name, spec in _REGISTRY.items()}

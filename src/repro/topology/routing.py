@@ -1,0 +1,72 @@
+"""Deterministic shortest-path route tables over a topology graph.
+
+Routes are computed once, at build time, by breadth-first search from
+every *destination* with neighbors expanded in sorted-name order: the
+BFS parent of node ``u`` in the tree rooted at ``dst`` is exactly the
+next hop ``u`` forwards toward ``dst``, and the lexicographic expansion
+order makes the equal-cost tie-break a pure function of the graph — two
+builds of the same :class:`~repro.topology.graph.TopologySpec` always
+produce byte-identical tables (covered by the determinism tests).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Tuple
+
+from repro.errors import ConfigError
+from repro.topology.graph import TopologySpec
+
+
+class RouteTables:
+    """Next-hop tables for every (src, dst) pair of a validated spec."""
+
+    def __init__(self, next_hop: Dict[str, Dict[str, str]]) -> None:
+        self.next_hop = next_hop
+
+    @classmethod
+    def build(cls, spec: TopologySpec) -> "RouteTables":
+        """BFS from each destination; O(nodes * edges), build-time only."""
+        adjacency = spec.adjacency()
+        next_hop: Dict[str, Dict[str, str]] = {
+            name: {} for name in adjacency
+        }
+        for dst in adjacency:
+            parent: Dict[str, str] = {}
+            frontier = deque((dst,))
+            visited = {dst}
+            while frontier:
+                node = frontier.popleft()
+                for neighbor in adjacency[node]:
+                    if neighbor not in visited:
+                        visited.add(neighbor)
+                        parent[neighbor] = node
+                        frontier.append(neighbor)
+            for src, hop in parent.items():
+                next_hop[src][dst] = hop
+        return cls(next_hop)
+
+    # ------------------------------------------------------------------
+    def path(self, src: str, dst: str) -> Tuple[str, ...]:
+        """Node sequence from ``src`` to ``dst``, both endpoints included."""
+        if src not in self.next_hop:
+            raise ConfigError(f"unknown route source {src!r}")
+        if dst not in self.next_hop:
+            raise ConfigError(f"unknown route destination {dst!r}")
+        nodes = [src]
+        node = src
+        while node != dst:
+            node = self.next_hop[node][dst]
+            nodes.append(node)
+        return tuple(nodes)
+
+    def hop_count(self, src: str, dst: str) -> int:
+        """Number of edges crossed from ``src`` to ``dst``."""
+        return len(self.path(src, dst)) - 1
+
+    def to_doc(self) -> Dict[str, Dict[str, str]]:
+        """JSON-safe copy with sorted keys (for determinism tests)."""
+        return {
+            src: {dst: hop for dst, hop in sorted(table.items())}
+            for src, table in sorted(self.next_hop.items())
+        }

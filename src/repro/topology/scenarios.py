@@ -1,0 +1,43 @@
+"""Rack-scale scenarios: registered ScenarioSpecs over topologies.
+
+``kv_rack_zipf`` is the headline scenario: a sharded KV service behind
+the ToR load balancer serving Zipf traffic from many simulated client
+hosts across eight CC-NIC servers. The scenario's partition is
+per-host — shard ``i`` simulates server host ``i`` plus its slice of
+the key space — so ``python -m repro perf --scenario kv_rack_zipf
+--shards N`` executes the rack on ``N`` workers and merges fingerprints
+deterministically, exactly like the single-box scenarios.
+
+``mesh_2x2_loopback`` is the small fabric-shape smoke: per-host CC-NIC
+loopback with every packet echoed off the ToR through the 2x2 switch
+mesh, exercising multi-hop routes and fabric-edge accounting.
+"""
+
+from __future__ import annotations
+
+from repro.shard.spec import ScenarioSpec, register_scenario
+
+register_scenario(ScenarioSpec(
+    name="kv_rack_zipf",
+    workload="kv",
+    description="rack-scale sharded KV behind the ToR, Zipf client hosts",
+    topology="rack8",
+    n_clients=64,
+    n_ops=4000,
+    n_ops_quick=960,
+    n_keys=32768,
+    offered_mops=50.0,
+    shards=8,
+))
+
+register_scenario(ScenarioSpec(
+    name="mesh_2x2_loopback",
+    workload="loopback",
+    description="per-host loopback echoed off the ToR across a 2x2 mesh",
+    topology="mesh_2x2",
+    pkt_size=256,
+    n_packets=8000,
+    n_packets_quick=1600,
+    inflight=32,
+    shards=4,
+))

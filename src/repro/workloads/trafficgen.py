@@ -109,6 +109,13 @@ class LoopbackApp(Instrumented):
     #: each sampled packet's waterfall at its RX-read timestamp.
     flight = None
 
+    #: Optional per-packet rack-fabric charge (``pkt -> extra ns``),
+    #: set by topology scenarios: the returned delay is added to each
+    #: received packet's delivery time, modelling the round trip through
+    #: a :class:`repro.topology.net.Router`. Class-level None so
+    #: single-box runs pay zero extra cost.
+    route = None
+
     def __init__(
         self,
         driver,
@@ -212,6 +219,7 @@ class LoopbackApp(Instrumented):
         drv_free = driver.free
         drv_housekeeping = driver.housekeeping
         record_latency = result.latency.record
+        route = self.route
 
         # Every offered packet eventually resolves to received or
         # dropped, so the loop terminates even when faults lose packets.
@@ -288,6 +296,10 @@ class LoopbackApp(Instrumented):
                 for pkt, buf in entries:
                     ns += pkt_ns
                     pkt.rx_ns = now + ns
+                    if route is not None:
+                        # Rack-fabric round trip: delivery (and latency)
+                        # shifts; the local measurement window does not.
+                        pkt.rx_ns += route(pkt)
                     result.received += 1
                     result.bytes_received += pkt.size
                     bufs_to_free.append(buf)
@@ -357,6 +369,7 @@ def run_loopback(
     obs=None,
     recovery: Optional[RecoveryPolicy] = None,
     flight=None,
+    route=None,
 ) -> LoopbackResult:
     """Convenience wrapper: spawn one app on a started interface and run."""
     app = LoopbackApp(
@@ -375,6 +388,8 @@ def run_loopback(
         app.instrument(obs)
     if flight is not None:
         app.flight = flight
+    if route is not None:
+        app.route = route
     system.sim.spawn(app.run(), name="loopback-app")
     system.sim.run(until=max_sim_ns, stop_when=lambda: app.done)
     return app.result

@@ -385,6 +385,11 @@ class TestSelfHost:
         assert "Lint summary" in format_lint_summary(report)
         assert "waived" in format_lint_findings(report)
 
+    def test_subsystem_root_inherits_taxonomy(self):
+        # A subsystem-scoped run walks up to the package errors.py.
+        report = run_lint(root=os.path.join(SRC, "topology"), tests_root=TESTS)
+        assert report.active == [], format_lint_findings(report)
+
 
 class TestDefaultRules:
     def test_all_five_rules_present(self):
