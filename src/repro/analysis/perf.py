@@ -237,6 +237,108 @@ def write_bench(doc: Dict, path: str = DEFAULT_BENCH_PATH) -> str:
 
 
 # ----------------------------------------------------------------------
+# cProfile artifact (``python -m repro perf --profile``)
+# ----------------------------------------------------------------------
+#: Schema version of the profile artifact.
+PROFILE_SCHEMA = 1
+#: Rows kept in the committed artifact.
+PROFILE_TOP = 25
+
+
+def _short_func(path: str, line: int, name: str) -> str:
+    """``src/<pkg-relative>:line(name)`` — stable across checkouts."""
+    marker = os.sep + "src" + os.sep
+    at = path.rfind(marker)
+    if at >= 0:
+        path = path[at + len(marker):]
+    return f"{path}:{line}({name})"
+
+
+def profile_scenario(
+    name: str, quick: bool = False, top: int = PROFILE_TOP
+) -> Dict:
+    """cProfile one sequential scenario run; returns the artifact doc.
+
+    The run is forced to one worker: cProfile only sees this process,
+    so a pool run would profile dispatch overhead instead of the
+    simulation. The document carries the ``top`` functions by
+    *cumulative* time (the ISSUE's contract: future perf PRs start
+    from data, and cumulative ordering surfaces the layer boundaries
+    the flat ``tottime`` view hides).
+    """
+    import cProfile
+    import pstats
+
+    spec = scenario(name)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run = run_sharded(spec, workers=1, quick=quick)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    rows = [
+        {
+            "function": _short_func(*func),
+            "ncalls": nc,
+            "tottime": round(tt, 4),
+            "cumtime": round(ct, 4),
+        }
+        for func, (cc, nc, tt, ct, callers) in stats.stats.items()
+    ]
+    rows.sort(key=lambda r: r["cumtime"], reverse=True)
+    total_tt = sum(r["tottime"] for r in rows)
+    return {
+        "bench": "sim_perf_profile",
+        "schema": PROFILE_SCHEMA,
+        "scenario": name,
+        "quick": quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "generated_unix": int(time.time()),  # repro: allow(wall-clock) report timestamp
+        "wall_s": round(run.wall_s, 4),
+        "events": run.events,
+        "events_per_sec": round(run.events / run.wall_s, 1) if run.wall_s > 0 else 0.0,
+        "fingerprint": run.fingerprint,
+        "profiled_s": round(total_tt, 4),
+        "top": rows[: max(1, top)],
+    }
+
+
+def format_profile(doc: Dict) -> str:
+    """Text rendering of a profile artifact (committed alongside it)."""
+    lines = [
+        f"cProfile: scenario {doc['scenario']}"
+        f"{' (quick)' if doc['quick'] else ''} — "
+        f"{doc['events']} events, {doc['wall_s']:.3f}s wall "
+        f"({doc['events_per_sec']:.0f} events/sec), "
+        f"fingerprint {doc['fingerprint']}",
+        f"{'cumtime':>10} {'tottime':>10} {'ncalls':>10}  function",
+    ]
+    for row in doc["top"]:
+        lines.append(
+            f"{row['cumtime']:>10.4f} {row['tottime']:>10.4f} "
+            f"{row['ncalls']:>10}  {row['function']}"
+        )
+    return "\n".join(lines)
+
+
+def write_profile(doc: Dict, bench_path: str = DEFAULT_BENCH_PATH) -> List[str]:
+    """Write the JSON + text artifacts next to the BENCH document.
+
+    ``<bench stem>_profile.json`` / ``.txt`` — returned in that order.
+    """
+    stem, _ext = os.path.splitext(bench_path)
+    json_path = stem + "_profile.json"
+    txt_path = stem + "_profile.txt"
+    with open(json_path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    with open(txt_path, "w") as fh:
+        fh.write(format_profile(doc))
+        fh.write("\n")
+    return [json_path, txt_path]
+
+
+# ----------------------------------------------------------------------
 # Regression checking (CI perf-smoke gate)
 # ----------------------------------------------------------------------
 def load_baseline(path: str = DEFAULT_BASELINE_PATH) -> Optional[Dict]:

@@ -850,6 +850,18 @@ def cmd_perf(args: argparse.Namespace) -> int:
                 f"error: unknown scenario {name!r} "
                 f"(registered: {', '.join(registered)})"
             )
+    if args.profile:
+        # Profile mode replaces the suite: one sequential scenario under
+        # cProfile, artifacts written next to the BENCH document.
+        name = scenarios[0] if args.scenario else "loopback_64b"
+        if name not in registered:
+            raise SystemExit(f"error: unknown scenario {name!r}")
+        print(f"profiling {name}{' (quick)' if args.quick else ''} ...")
+        doc = perf.profile_scenario(name, quick=args.quick)
+        print(perf.format_profile(doc))
+        for path in perf.write_profile(doc, bench_path=args.out):
+            print(f"wrote {path}")
+        return 0
     if args.compare == "none":
         compare = ()
     elif args.compare == "all":
@@ -1058,6 +1070,12 @@ def build_parser() -> argparse.ArgumentParser:
                          "(repeats must fingerprint identically)")
     pf.add_argument("--tolerance", type=float, default=0.30, metavar="FRAC",
                     help="allowed events/sec drop vs. baseline (default 0.30)")
+    pf.add_argument(
+        "--profile", action="store_true",
+        help="instead of the suite, run one scenario (first --scenario, "
+             "default loopback_64b) under cProfile and write top-25 "
+             "cumulative JSON/text artifacts next to --out",
+    )
     pf.set_defaults(func=cmd_perf)
 
     ck = sub.add_parser("check", help="static determinism/protocol lint")

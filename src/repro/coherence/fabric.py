@@ -365,12 +365,14 @@ class CoherenceFabric(Instrumented):
             raise CoherenceError(f"access size must be positive, got {size}")
         first = addr // CACHE_LINE_SIZE
         last = (addr + size - 1) // CACHE_LINE_SIZE
-        region = self._line_regions.get(first)
-        if region is None:
-            region = self._resolve_region(addr)
         if first == last:
             # Hot path: the overwhelming majority of modelled accesses
             # (descriptors, signal words, header probes) touch one line.
+            # Region resolution is deferred to the paths that need it
+            # (miss fill, prefetch bound check): a hit implies the line
+            # was installed by an earlier miss, which already validated
+            # cacheability, so skipping the lookup cannot change what an
+            # unreachable non-WB hit would have raised.
             lines = agent._lines
             state = lines.get(first)
             if state is not None:
@@ -390,7 +392,15 @@ class CoherenceFabric(Instrumented):
                     if latency == 0.0:
                         latency = self._local_invalidate
                     total = latency / self.write_pipeline + self._pending_queue
+                if not agent.prefetch:
+                    return total
+                region = self._line_regions.get(first)
+                if region is None:
+                    region = self._resolve_region(addr)
             else:
+                region = self._line_regions.get(first)
+                if region is None:
+                    region = self._resolve_region(addr)
                 agent.misses += 1
                 self._pending_queue = 0.0
                 latency = self._miss_fast(agent, first, write, region)
@@ -415,6 +425,9 @@ class CoherenceFabric(Instrumented):
                         if target * 64 < region.end and target not in lines:
                             self._prefetch_line(agent, target, region)
             return total
+        region = self._line_regions.get(first)
+        if region is None:
+            region = self._resolve_region(addr)
         total = 0.0
         for index, line in enumerate(range(first, last + 1)):
             self._pending_queue = 0.0
@@ -498,9 +511,16 @@ class CoherenceFabric(Instrumented):
                 raise CoherenceError(f"access size must be positive, got {size}")
             line = addr // CACHE_LINE_SIZE
             last_line = (addr + size - 1) // CACHE_LINE_SIZE
-            region = regions.get(line)
-            if region is None:
-                region = self._resolve_region(addr)
+            if prefetch:
+                region = regions.get(line)
+                if region is None:
+                    region = self._resolve_region(addr)
+            else:
+                # Non-prefetching agents (the NIC) only need the region
+                # for a miss fill; all-hit spans skip the lookup. A hit
+                # implies an earlier validated install, so deferral
+                # cannot change reachable error behaviour.
+                region = None
             while True:
                 # Inline twin of the hit cases in _line_access_fast:
                 # payload bursts are overwhelmingly warm-line traffic.
@@ -520,6 +540,10 @@ class CoherenceFabric(Instrumented):
                     self._pending_queue = 0.0
                     if state is None:
                         agent.misses += 1
+                        if region is None:
+                            region = regions.get(addr // CACHE_LINE_SIZE)
+                            if region is None:
+                                region = self._resolve_region(addr)
                         latency = self._miss_fast(agent, line, write, region)
                     else:
                         # Write hit on a shared line: upgrade in place
@@ -1063,7 +1087,9 @@ class CoherenceFabric(Instrumented):
                 if not vholders:
                     del self._holders[vline]
             if vstate is _MODIFIED:
-                vregion = self.space.try_region_of(vline * 64)
+                vregion = self._line_regions.get(vline)
+                if vregion is None:
+                    vregion = self.space.try_region_of(vline * 64)
                 vhome = vregion.home if vregion is not None else agent.socket
                 if vhome != agent.socket:
                     self.link.occupy(

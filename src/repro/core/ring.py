@@ -48,7 +48,7 @@ DESC_BYTES = 16
 GROUP = 4
 
 
-@dataclass
+@dataclass(slots=True)
 class WorkItem:
     """One descriptor's logical content.
 
@@ -359,7 +359,9 @@ class CoherentQueue(Instrumented):
             first_slot = slots[i0]
             if first_slot is None:
                 break  # unproduced line: this read was the (cheap) signal poll
-            if isinstance(first_slot, WorkItem) and first_slot.visible_at > now:
+            # Slots only ever hold WorkItem, _SKIPPED, or None (handled
+            # above), so a sentinel identity test replaces isinstance.
+            if first_slot is not _SKIPPED and first_slot.visible_at > now:
                 break  # written, but the store has not retired yet
             san = self.sanitizer
             if san is not None:

@@ -290,6 +290,10 @@ class Link:
         settled_others = max(
             0.0, self._rho[direction] - self._rho_by[direction].get(actor, 0.0)
         )
+        if settled_others <= 0.0 and self._win_busy[direction] == by[actor]:
+            # Sole actor, nothing settled from others: live_others and
+            # the clipped settled share are both exactly 0.0.
+            return 0.0
         live_elapsed = max(self.WINDOW_NS / 4, t - self._win_start[direction] + ser)
         live_others = (self._win_busy[direction] - by[actor]) / live_elapsed
         rho_others = min(self.RHO_CAP, max(settled_others, live_others))
@@ -388,28 +392,33 @@ class Link:
                 settled_others = rho_settled[d0] - rho_by[d0][actor]
             except KeyError:
                 settled_others = rho_settled[d0]
-            if settled_others < 0.0:
-                settled_others = 0.0
-            live_elapsed = t - win_start[d0] + ser0
-            if live_elapsed < live_floor:
-                live_elapsed = live_floor
-            live_others = (busy - mine) / live_elapsed
-            rho_others = settled_others if settled_others >= live_others else live_others
-            if rho_others > cap:
-                rho_others = cap
-            if rho_others > 0.0:
-                mm1 = ser0 * rho_others / (1.0 - rho_others)
-                own = mine if mine >= ser0 else ser0
-                settled_total = rho_settled[d0]
-                live_total = busy / live_elapsed
-                rho_total = settled_total if settled_total >= live_total else live_total
-                if rho_total > 1.0:
-                    rho_total = 1.0
-                over = busy / own - 1.0
-                if over < 0.0:
-                    over = 0.0
-                fair = ser0 * over * rho_total * rho_total
-                base += mm1 if mm1 <= fair else fair
+            # Sole actor in the live window with nothing settled from
+            # others: live_others is exactly 0.0 and the clipped
+            # settled share is 0.0, so the wait would be 0.0 — skip
+            # its arithmetic entirely (the dominant uncontended case).
+            if busy != mine or settled_others > 0.0:
+                if settled_others < 0.0:
+                    settled_others = 0.0
+                live_elapsed = t - win_start[d0] + ser0
+                if live_elapsed < live_floor:
+                    live_elapsed = live_floor
+                live_others = (busy - mine) / live_elapsed
+                rho_others = settled_others if settled_others >= live_others else live_others
+                if rho_others > cap:
+                    rho_others = cap
+                if rho_others > 0.0:
+                    mm1 = ser0 * rho_others / (1.0 - rho_others)
+                    own = mine if mine >= ser0 else ser0
+                    settled_total = rho_settled[d0]
+                    live_total = busy / live_elapsed
+                    rho_total = settled_total if settled_total >= live_total else live_total
+                    if rho_total > 1.0:
+                        rho_total = 1.0
+                    over = busy / own - 1.0
+                    if over < 0.0:
+                        over = 0.0
+                    fair = ser0 * over * rho_total * rho_total
+                    base += mm1 if mm1 <= fair else fair
         # --- response row (opposite direction, so state is independent)
         elapsed = t - win_start[d1]
         if elapsed >= window:
@@ -440,29 +449,60 @@ class Link:
                 settled_others = rho_settled[d1] - rho_by[d1][actor]
             except KeyError:
                 settled_others = rho_settled[d1]
-            if settled_others < 0.0:
-                settled_others = 0.0
-            live_elapsed = t - win_start[d1] + ser1
-            if live_elapsed < live_floor:
-                live_elapsed = live_floor
-            live_others = (busy - mine) / live_elapsed
-            rho_others = settled_others if settled_others >= live_others else live_others
-            if rho_others > cap:
-                rho_others = cap
-            if rho_others > 0.0:
-                mm1 = ser1 * rho_others / (1.0 - rho_others)
-                own = mine if mine >= ser1 else ser1
-                settled_total = rho_settled[d1]
-                live_total = busy / live_elapsed
-                rho_total = settled_total if settled_total >= live_total else live_total
-                if rho_total > 1.0:
-                    rho_total = 1.0
-                over = busy / own - 1.0
-                if over < 0.0:
-                    over = 0.0
-                fair = ser1 * over * rho_total * rho_total
-                base += mm1 if mm1 <= fair else fair
+            if busy != mine or settled_others > 0.0:
+                if settled_others < 0.0:
+                    settled_others = 0.0
+                live_elapsed = t - win_start[d1] + ser1
+                if live_elapsed < live_floor:
+                    live_elapsed = live_floor
+                live_others = (busy - mine) / live_elapsed
+                rho_others = settled_others if settled_others >= live_others else live_others
+                if rho_others > cap:
+                    rho_others = cap
+                if rho_others > 0.0:
+                    mm1 = ser1 * rho_others / (1.0 - rho_others)
+                    own = mine if mine >= ser1 else ser1
+                    settled_total = rho_settled[d1]
+                    live_total = busy / live_elapsed
+                    rho_total = settled_total if settled_total >= live_total else live_total
+                    if rho_total > 1.0:
+                        rho_total = 1.0
+                    over = busy / own - 1.0
+                    if over < 0.0:
+                        over = 0.0
+                    fair = ser1 * over * rho_total * rho_total
+                    base += mm1 if mm1 <= fair else fair
         return base
+
+    def plan_one_way(self, cls: MessageClass, direction: int,
+                     payload_bytes: Optional[int] = None) -> tuple:
+        """Build a memoized per-hop charge row for :meth:`one_way`.
+
+        Returns the flat 14-field tuple ``(link, direction, payload,
+        wire, ser, latency, ser+latency, agg, class_cell, win_busy,
+        win_by, win_start, rho_settled, rho_by)`` — the resolved wire
+        figures plus the live statistics and utilization-window cells a
+        caller needs to replay :meth:`one_way`'s accounting without the
+        per-call validation, payload resolution, and class-cell dict
+        lookup (see :meth:`repro.topology.net.Router.charge`). The row
+        embeds mutable state that :meth:`scaled` and :meth:`reset_stats`
+        replace, so holders must drop it when :attr:`on_scaled` fires;
+        fault attachment needs no invalidation because consumers are
+        expected to re-check :attr:`faults` per charge and fall back to
+        :meth:`one_way`.
+        """
+        if direction not in (0, 1):
+            raise InterconnectError(f"direction must be 0 or 1, got {direction}")
+        payload = cls.payload_bytes(payload_bytes or 0)
+        wire = payload + self.header_overhead
+        ser = wire / self.bandwidth
+        stats = self.stats[direction]
+        return (
+            self, direction, payload, wire, ser, self.latency_ns,
+            ser + self.latency_ns, stats.agg, stats.class_cell(cls),
+            self._win_busy, self._win_by, self._win_start,
+            self._rho, self._rho_by,
+        )
 
     def round_trip(
         self,

@@ -25,6 +25,10 @@ class Region:
     size: int
     home: int
     memtype: MemType = field(default=MemType.WRITEBACK)
+    #: One past the last byte address; computed in ``__post_init__`` as
+    #: a plain attribute because hot prefetch-bound checks read it per
+    #: cache-line access and a property call there is measurable.
+    end: int = field(init=False, compare=False, repr=False, default=0)
 
     def __post_init__(self) -> None:
         if self.size <= 0:
@@ -35,11 +39,7 @@ class Region:
             raise AddressSpaceError(
                 f"region {self.name!r} base {self.base:#x} is not cache-line aligned"
             )
-
-    @property
-    def end(self) -> int:
-        """One past the last byte address."""
-        return self.base + self.size
+        object.__setattr__(self, "end", self.base + self.size)
 
     def contains(self, addr: int, size: int = 1) -> bool:
         """True if ``[addr, addr+size)`` lies entirely within this region."""

@@ -74,23 +74,28 @@ class Process:
     Attributes:
         name: Human-readable label, used in error messages.
         done: True once the generator has returned or was stopped.
-        pid: Per-simulator id (spawn order, starting at 1). Processes
-            constructed directly fall back to a class-level counter.
+        pid: Per-simulator id (spawn order, starting at 1), assigned by
+            :meth:`Simulator.spawn`. There is deliberately no global
+            fallback counter: pids are a per-simulator namespace, and a
+            shared class-level counter would leak spawn history between
+            simulators living in one interpreter.
     """
 
-    _ids = 0
+    __slots__ = ("body", "name", "done", "pid")
 
     def __init__(self, body: ProcessBody, name: str, pid: Optional[int] = None):
         if not hasattr(body, "send"):
             raise SimulationError(
                 f"process {name!r} must be a generator, got {type(body).__name__}"
             )
+        if pid is None:
+            raise SimulationError(
+                f"process {name!r} constructed without a pid; create processes "
+                "through Simulator.spawn(), which assigns per-simulator ids"
+            )
         self.body = body
         self.name = name
         self.done = False
-        if pid is None:
-            Process._ids += 1
-            pid = Process._ids
         self.pid = pid
 
     def stop(self) -> None:
@@ -144,10 +149,13 @@ class Simulator(Instrumented):
             self.obs_name, "events_executed", fn=lambda: float(self.events_executed)
         )
         registry.gauge(self.obs_name, "pending_events", fn=lambda: float(self.pending))
+        # Non-mutating by contract: alive_processes() compacts the
+        # process table, and a metrics read must never perturb the
+        # simulator's compaction bookkeeping.
         registry.gauge(
             self.obs_name,
             "alive_processes",
-            fn=lambda: float(len(list(self.alive_processes()))),
+            fn=lambda: float(sum(1 for p in self._processes if not p.done)),
         )
 
     # ------------------------------------------------------------------
@@ -257,13 +265,25 @@ class Simulator(Instrumented):
         max_events: Optional[int],
         stop_when: Optional[Callable[[], bool]],
     ) -> float:
-        """Fast loop: record reuse + direct dispatch of the earliest step.
+        """Fast loop: cohort draining, record reuse, direct dispatch.
 
-        Produces the exact event order of :meth:`_run_slow`: a record is
-        only held for direct dispatch when it is *strictly* earlier than
-        every queued event, so seq tie-breaking is preserved, and any
-        event a ``stop_when`` callback schedules ahead of the held
-        record demotes it back onto the heap.
+        Produces the exact event order of :meth:`_run_slow`:
+
+        * Same-timestamp records drain as one *cohort* per outer
+          iteration: the clock is written once and ``until`` compared
+          once per cohort instead of per event. Both are exact — every
+          member shares the timestamp those checks saw. Dispatch stays
+          seq-ordered because members are taken off the queue one at a
+          time, so an event a handler schedules *at the cohort's
+          timestamp* joins the live cohort at its seq position.
+        * ``stop_when`` is still consulted after every event: it may
+          have side effects (it is allowed to schedule), so a
+          per-cohort check would diverge from the reference loop.
+        * A record is only held for direct dispatch when it is
+          *strictly* earlier than every queued event, so seq
+          tie-breaking is preserved, and any event a ``stop_when``
+          callback schedules ahead of the held record demotes it back
+          onto the heap.
         """
         executed = 0
         events = self.events_executed
@@ -291,57 +311,77 @@ class Simulator(Instrumented):
                     self.now = until
                     break
                 self.now = when
-                events += 1
-                self.events_executed = events
-                executed += 1
-                cur = rec
-                rec = None
-                if cur[2] == _STEP:
-                    proc = cur[3]
-                    if proc.done:
-                        self._note_done()
-                    else:
-                        try:
-                            delay = proc.body.send(None)
-                        except StopIteration:
-                            proc.done = True
+                # ---- cohort at `when`: dispatch rec and every queued
+                # same-timestamp successor without re-checking `until`
+                # or rewriting the clock.
+                while True:
+                    events += 1
+                    self.events_executed = events
+                    executed += 1
+                    cur = rec
+                    rec = None
+                    if cur[2] == _STEP:
+                        proc = cur[3]
+                        if proc.done:
                             self._note_done()
                         else:
                             try:
-                                invalid = delay is None or delay < 0
-                            except TypeError:
-                                invalid = True
-                            if invalid:
+                                delay = proc.body.send(None)
+                            except StopIteration:
                                 proc.done = True
                                 self._note_done()
-                                raise SimulationError(
-                                    f"process {proc.name!r} yielded invalid "
-                                    f"delay {delay!r}"
-                                )
-                            nxt = when + delay
-                            self._seq += 1
-                            cur[0] = nxt
-                            cur[1] = self._seq
-                            cal = self._cal
-                            if cal is not None:
-                                cal.push(cur)
-                            elif heap and nxt >= heap[0][0]:
-                                heappush(heap, cur)
                             else:
-                                rec = cur
-                else:
-                    cur[3]()
-                if stop_when is not None:
-                    self._held = rec
-                    stopped = stop_when()
-                    self._held = None
-                    if stopped:
+                                try:
+                                    invalid = delay is None or delay < 0
+                                except TypeError:
+                                    invalid = True
+                                if invalid:
+                                    proc.done = True
+                                    self._note_done()
+                                    raise SimulationError(
+                                        f"process {proc.name!r} yielded invalid "
+                                        f"delay {delay!r}"
+                                    )
+                                nxt = when + delay
+                                self._seq += 1
+                                cur[0] = nxt
+                                cur[1] = self._seq
+                                cal = self._cal
+                                if cal is not None:
+                                    cal.push(cur)
+                                elif heap and nxt >= heap[0][0]:
+                                    heappush(heap, cur)
+                                else:
+                                    rec = cur
+                    else:
+                        cur[3]()
+                    if stop_when is not None:
+                        self._held = rec
+                        stopped = stop_when()
+                        self._held = None
+                        if stopped:
+                            return self.now
+                        if rec is not None and heap and heap[0] < rec:
+                            heappush(heap, rec)
+                            rec = None
+                    if max_events is not None and executed >= max_events:
+                        return self.now
+                    if rec is None:
+                        # Pull the next record; a non-tie is carried to
+                        # the outer loop as the next cohort's head (no
+                        # extra peek or requeue on the common path).
+                        cal = self._cal
+                        if cal is not None:
+                            if not len(cal):
+                                self._cal = None
+                                break
+                            rec = cal.pop()
+                        elif heap:
+                            rec = heappop(heap)
+                        else:
+                            break
+                    if rec[0] != when:
                         break
-                    if rec is not None and heap and heap[0] < rec:
-                        heappush(heap, rec)
-                        rec = None
-                if max_events is not None and executed >= max_events:
-                    break
             return self.now
         finally:
             self._held = None

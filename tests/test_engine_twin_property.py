@@ -1,0 +1,99 @@
+"""Adversarial generator behind the engine's fast/slow twin contract.
+
+The cohort-batched ``_run_fast`` loop must be bit-identical to the
+``_run_slow`` reference (the path ``REPRO_SIM_SLOWPATH=1`` selects):
+same final ``now``, same ``events_executed``, and the same execution
+trace fingerprint. Hypothesis drives randomly generated process
+populations through both paths — mixed delays, same-timestamp ties,
+mid-run spawns, ``call_at``/``call_after`` callbacks, bounded ``until``
+runs, and ``stop_when`` predicates that themselves schedule work (the
+case the cohort loop must re-merge into its drained cohort).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.shard.merge import fingerprint
+from repro.sim import Simulator
+
+# A small value pool forces same-timestamp cohorts: with only a few
+# distinct delays, independently scheduled events collide constantly.
+_DELAYS = st.sampled_from([0.0, 0.5, 1.0, 1.0, 2.0, 3.0])
+
+_action = st.deferred(
+    lambda: st.one_of(
+        st.tuples(st.just("delay"), _DELAYS),
+        st.tuples(st.just("call_after"), _DELAYS),
+        st.tuples(st.just("call_at"), _DELAYS),
+        st.tuples(st.just("spawn"), st.lists(
+            st.tuples(st.just("delay"), _DELAYS), min_size=1, max_size=3,
+        )),
+    )
+)
+
+_program = st.fixed_dictionaries({
+    "procs": st.lists(
+        st.lists(_action, min_size=1, max_size=6), min_size=1, max_size=4,
+    ),
+    # stop_when configuration: fire a scheduling side effect on call K,
+    # return True from call M on (None = never stop).
+    "stop_schedule_at": st.one_of(st.none(), st.integers(1, 20)),
+    "stop_after_calls": st.one_of(st.none(), st.integers(1, 30)),
+    "until": st.one_of(st.none(), st.sampled_from([0.0, 1.0, 2.5, 6.0])),
+})
+
+
+def _run_program(program, slowpath):
+    sim = Simulator(slowpath=slowpath)
+    trace = []
+
+    def make_body(label, actions):
+        def body():
+            for kind, arg in actions:
+                if kind == "delay":
+                    trace.append(["step", label, sim.now])
+                    yield arg
+                elif kind == "call_after":
+                    sim.call_after(
+                        arg,
+                        lambda label=label: trace.append(["cb", label, sim.now]),
+                    )
+                elif kind == "call_at":
+                    sim.call_at(
+                        sim.now + arg,
+                        lambda label=label: trace.append(["cb@", label, sim.now]),
+                    )
+                else:  # mid-run spawn
+                    child = f"{label}+{len(trace)}"
+                    sim.spawn(make_body(child, arg), child)
+                    trace.append(["spawned", child, sim.now])
+            trace.append(["end", label, sim.now])
+        return body()
+
+    for index, actions in enumerate(program["procs"]):
+        label = f"p{index}"
+        sim.spawn(make_body(label, actions), label)
+
+    calls = [0]
+    schedule_at = program["stop_schedule_at"]
+    stop_after = program["stop_after_calls"]
+
+    def stop_when():
+        calls[0] += 1
+        trace.append(["stop?", calls[0], sim.now])
+        if calls[0] == schedule_at:
+            # The adversarial case: the predicate schedules new work at
+            # the current timestamp, growing the cohort mid-drain.
+            sim.call_after(0.0, lambda: trace.append(["stopcb", sim.now]))
+        return stop_after is not None and calls[0] >= stop_after
+
+    end = sim.run(until=program["until"], stop_when=stop_when)
+    return end, sim.events_executed, fingerprint({"trace": trace})
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=_program)
+def test_fast_and_slow_paths_are_twins(program):
+    slow = _run_program(program, slowpath=True)
+    fast = _run_program(program, slowpath=False)
+    assert fast == slow  # (now, events_executed, trace fingerprint)

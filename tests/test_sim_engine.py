@@ -267,3 +267,49 @@ def test_slowpath_never_engages_calendar_queue():
     assert sim._cal is None
     sim.run()
     assert sim._cal is None
+
+
+def test_direct_process_construction_requires_pid():
+    from repro.sim import Process
+
+    def proc():
+        yield 1.0
+
+    with pytest.raises(SimulationError, match="without a pid"):
+        Process(proc(), "orphan")
+    # pids are a per-simulator namespace: there is no class-level
+    # fallback counter to leak spawn history between simulators.
+    assert not hasattr(Process, "_ids")
+    p = Process(proc(), "ok", pid=3)
+    assert p.pid == 3
+
+
+def test_alive_processes_gauge_does_not_mutate_process_table():
+    from repro.obs import MetricRegistry, Observability
+
+    obs = Observability(metrics=MetricRegistry())
+    sim = Simulator()
+    sim.instrument(obs)
+
+    def short():
+        yield 1.0
+
+    def forever():
+        while True:
+            yield 1.0
+
+    for i in range(10):
+        sim.spawn(short(), f"s{i}")
+    sim.spawn(forever(), "alive")
+    sim.run(until=5.0)
+
+    table_before = list(sim._processes)
+    done_before = sim._done_count
+    snap = obs.metrics.snapshot()
+    assert snap[sim.obs_name]["alive_processes"] == 1.0
+    # Reading the gauge twice must not compact or reset anything.
+    obs.metrics.snapshot()
+    assert list(sim._processes) == table_before
+    assert sim._done_count == done_before
+    # The compacting accessor still works and is the mutating one.
+    assert [p.name for p in sim.alive_processes()] == ["alive"]
