@@ -123,11 +123,15 @@ def run_point(
     max_sim_ns: float = 1e9,
     flight=None,
     route=None,
+    timeline=None,
 ) -> LoopbackResult:
     """Run one loopback measurement on a built setup.
 
     ``route`` is an optional per-packet rack-fabric charge (see
-    :attr:`repro.workloads.trafficgen.LoopbackApp.route`).
+    :attr:`repro.workloads.trafficgen.LoopbackApp.route`);
+    ``timeline`` an optional
+    :class:`repro.obs.timeline.TimelineSampler` the app feeds per-packet
+    latency samples into.
     """
     return run_loopback(
         setup.system,
@@ -143,6 +147,7 @@ def run_point(
         max_sim_ns=max_sim_ns,
         flight=flight,
         route=route,
+        timeline=timeline,
     )
 
 

@@ -236,6 +236,43 @@ def write_bench(doc: Dict, path: str = DEFAULT_BENCH_PATH) -> str:
     return path
 
 
+def load_bench(path: str = DEFAULT_BENCH_PATH) -> Optional[Dict]:
+    """A previously written BENCH document, or None when absent/foreign.
+
+    Used by ``perf --compare`` to diff a fresh suite against the
+    *committed* trajectory document before overwriting it; anything
+    unreadable or from another schema version silently disables the
+    diff rather than failing the benchmark.
+    """
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if doc.get("schema") != BENCH_SCHEMA or "scenarios" not in doc:
+        return None
+    return doc
+
+
+def bench_delta_rows(doc: Dict, committed: Dict) -> List[tuple]:
+    """Signed per-scenario events/sec deltas vs a committed BENCH doc.
+
+    Rows are ``(scenario, committed ev/s, this run, delta)``; scenarios
+    absent from the committed document show as ``new``.
+    """
+    rows = []
+    committed_scenarios = committed.get("scenarios", {})
+    for name, entry in doc["scenarios"].items():
+        current = entry.get("events_per_sec", 0.0)
+        old = committed_scenarios.get(name, {}).get("events_per_sec", 0.0)
+        if old <= 0:
+            rows.append((name, "-", f"{current:.0f}", "new"))
+            continue
+        delta = (current - old) / old * 100.0
+        rows.append((name, f"{old:.0f}", f"{current:.0f}", f"{delta:+.1f}%"))
+    return rows
+
+
 # ----------------------------------------------------------------------
 # cProfile artifact (``python -m repro perf --profile``)
 # ----------------------------------------------------------------------

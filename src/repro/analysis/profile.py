@@ -17,7 +17,7 @@ metrics to an unprofiled one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.analysis.loopback import (
     InterfaceKind,
@@ -88,9 +88,17 @@ def run_profile(
     keep_waterfalls: int = 32,
     top: int = 10,
     obs=None,
+    timeline=None,
+    scenario: Optional[str] = None,
     **build_kwargs,
 ) -> ProfileRun:
-    """One instrumented loopback run with a full flight report."""
+    """One instrumented loopback run with a full flight report.
+
+    ``timeline`` is an optional
+    :class:`repro.obs.timeline.TimelineSampler` windowing the run;
+    ``scenario`` stamps the flight report with a run name and the spec
+    fingerprint of its config block.
+    """
     setup = build_interface(spec, kind, obs=obs, **build_kwargs)
     recorder = FlightRecorder(
         line_capacity=line_capacity,
@@ -99,6 +107,10 @@ def run_profile(
         keep_waterfalls=keep_waterfalls,
     )
     attach_recorder(setup, recorder)
+    if timeline is not None:
+        from repro.obs.timeline import attach_timeline
+
+        attach_timeline(timeline, setup)
     result = run_point(
         setup,
         pkt_size,
@@ -108,17 +120,28 @@ def run_profile(
         rx_batch=rx_batch,
         obs=obs,
         flight=recorder,
+        timeline=timeline,
     )
+    if timeline is not None:
+        timeline.finish(setup.system.sim.now)
+    config = {
+        "platform": spec.name,
+        "interface": kind.value,
+        "pkt_size": pkt_size,
+        "n_packets": n_packets,
+        "inflight": inflight,
+        "sample_every": sample_every,
+    }
+    spec_fingerprint = None
+    if scenario is not None:
+        from repro.shard.merge import fingerprint
+
+        spec_fingerprint = fingerprint(config)
     report = recorder.report(
         top=top,
-        config={
-            "platform": spec.name,
-            "interface": kind.value,
-            "pkt_size": pkt_size,
-            "n_packets": n_packets,
-            "inflight": inflight,
-            "sample_every": sample_every,
-        },
+        config=config,
+        scenario=scenario,
+        spec_fingerprint=spec_fingerprint,
     )
     return ProfileRun(setup=setup, result=result, recorder=recorder, report=report)
 

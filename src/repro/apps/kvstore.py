@@ -99,6 +99,12 @@ class KvServerApp:
     the queue's RX path; responses are counted at the TX sink.
     """
 
+    #: Optional :class:`repro.obs.timeline.TimelineSampler`; the TX
+    #: sink feeds post-warmup request latencies into its ``latency_ns``
+    #: windowed series. Class-level None: detached runs pay one load
+    #: plus a branch when the sink is attached.
+    timeline = None
+
     def __init__(
         self,
         setup: LoopbackSetup,
@@ -180,6 +186,11 @@ class KvServerApp:
     def _attach_sink(self) -> None:
         result = self.result
         egress = self._egress_ns
+        timeline = self.timeline
+        sample_latency = None
+        if timeline is not None:
+            # Identity-stable open-window list; hoist its append.
+            sample_latency = timeline.hist("latency_ns").append
 
         def sink(pkt: Packet, when: float) -> None:
             when += egress(pkt)
@@ -189,6 +200,8 @@ class KvServerApp:
                     self._window_start = when
                 result.elapsed_ns = when - self._window_start
                 result.latency.record(when - pkt.tx_ns)
+                if sample_latency is not None:
+                    sample_latency(when - pkt.tx_ns)
             if result.ops >= self.n_ops:
                 self.done = True
 
@@ -323,6 +336,7 @@ def kv_thread_study(
     faults=None,
     flight=None,
     sanitizer=None,
+    timeline=None,
     batch: int = 32,
 ) -> KvStudy:
     """Measure one server thread in detail and compose the curve.
@@ -335,7 +349,9 @@ def kv_thread_study(
     :class:`repro.obs.flight.FlightRecorder` attached to every
     recording layer (line events + packet waterfalls where the CC-NIC
     driver is in play); ``sanitizer`` an optional
-    :class:`repro.check.Sanitizer` attached to every checked layer.
+    :class:`repro.check.Sanitizer` attached to every checked layer;
+    ``timeline`` an optional
+    :class:`repro.obs.timeline.TimelineSampler` windowing the probe run.
     """
     setup = build_interface(
         spec, kind if kind.is_coherent else InterfaceKind.CX6, obs=obs, faults=faults
@@ -348,8 +364,16 @@ def kv_thread_study(
         from repro.analysis.checks import attach_sanitizer
 
         attach_sanitizer(setup, sanitizer)
+    if timeline is not None:
+        from repro.obs.timeline import attach_timeline
+
+        attach_timeline(timeline, setup)
     app = KvServerApp(setup, workload, offered_mops=probe_mops, n_ops=n_ops, batch=batch)
+    if timeline is not None:
+        app.timeline = timeline
     app.run()
+    if timeline is not None:
+        timeline.finish(setup.system.sim.now)
     # Scale on the application thread's own service rate: under CC-NIC
     # the NIC-socket agents (the overlay threads of §4) absorb the
     # PCIe-side work, so the app thread's busy time is what each added

@@ -66,6 +66,11 @@ class RpcResult:
 class TasFastPath:
     """One fast-path thread serving echo RPCs over a NIC queue pair."""
 
+    #: Optional :class:`repro.obs.timeline.TimelineSampler`; the TX
+    #: sink feeds post-warmup RPC latencies into its ``latency_ns``
+    #: windowed series. Class-level None, same pattern as ``flight``.
+    timeline = None
+
     def __init__(
         self,
         setup,
@@ -118,6 +123,11 @@ class TasFastPath:
 
     def _attach_sink(self) -> None:
         result = self.result
+        timeline = self.timeline
+        sample_latency = None
+        if timeline is not None:
+            # Identity-stable open-window list; hoist its append.
+            sample_latency = timeline.hist("latency_ns").append
 
         def sink(pkt: Packet, when: float) -> None:
             result.ops += 1
@@ -126,6 +136,8 @@ class TasFastPath:
                     self._window_start = when
                 result.elapsed_ns = when - self._window_start
                 result.latency.record(when - pkt.tx_ns)
+                if sample_latency is not None:
+                    sample_latency(when - pkt.tx_ns)
             if result.ops >= self.n_ops:
                 self.done = True
 
@@ -238,6 +250,7 @@ def rpc_thread_study(
     faults=None,
     flight=None,
     sanitizer=None,
+    timeline=None,
     batch: int = 32,
 ) -> RpcStudy:
     """Measure one fast-path thread; compose the thread-count answer.
@@ -246,7 +259,9 @@ def rpc_thread_study(
     attached to the built system; ``flight`` an optional
     :class:`repro.obs.flight.FlightRecorder` attached to every
     recording layer; ``sanitizer`` an optional
-    :class:`repro.check.Sanitizer` attached to every checked layer.
+    :class:`repro.check.Sanitizer` attached to every checked layer;
+    ``timeline`` an optional
+    :class:`repro.obs.timeline.TimelineSampler` windowing the probe run.
     """
     setup = build_interface(
         spec, kind if kind.is_coherent else InterfaceKind.CX6, obs=obs, faults=faults
@@ -259,10 +274,18 @@ def rpc_thread_study(
         from repro.analysis.checks import attach_sanitizer
 
         attach_sanitizer(setup, sanitizer)
+    if timeline is not None:
+        from repro.obs.timeline import attach_timeline
+
+        attach_timeline(timeline, setup)
     fastpath = TasFastPath(
         setup, n_flows=n_flows, offered_mops=probe_mops, n_ops=n_ops, batch=batch
     )
+    if timeline is not None:
+        fastpath.timeline = timeline
     fastpath.run()
+    if timeline is not None:
+        timeline.finish(setup.system.sim.now)
     if nic_cap_mops is None:
         # 64B echo RPCs: the CX6 engine moves one request + one response
         # per op; TAS overheads shave a little off the ideal.

@@ -16,7 +16,7 @@ from typing import Iterator, Set, Tuple
 Finding = Tuple[int, int, str]
 
 #: Zero-cost-detached hook attributes (class-level ``None`` idiom).
-HOOK_ATTRS = frozenset({"flight", "faults", "sanitizer"})
+HOOK_ATTRS = frozenset({"flight", "faults", "sanitizer", "timeline"})
 
 #: Builtin exceptions allowed alongside the repro taxonomy: control-flow
 #: and protocol exceptions that are not error reports.

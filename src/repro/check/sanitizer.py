@@ -171,9 +171,18 @@ class Sanitizer:
     def total(self) -> int:
         return sum(self.counts.values())
 
-    def report(self, config: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-        """Schema-stamped report for :func:`repro.obs.export.export_sanitize_json`."""
-        return {
+    def report(
+        self,
+        config: Optional[Dict[str, Any]] = None,
+        scenario: Optional[str] = None,
+        spec_fingerprint: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Schema-stamped report for :func:`repro.obs.export.export_sanitize_json`.
+
+        ``scenario`` and ``spec_fingerprint`` stamp the report with the
+        run it came from; loaders ignore the fields when absent.
+        """
+        doc = {
             "schema": SANITIZE_SCHEMA,
             "strict": self.strict,
             "events": self.events,
@@ -183,6 +192,11 @@ class Sanitizer:
             "findings": [v.as_dict() for v in self.violations],
             "config": dict(config or {}),
         }
+        if scenario is not None:
+            doc["scenario"] = scenario
+        if spec_fingerprint is not None:
+            doc["spec_fingerprint"] = spec_fingerprint
+        return doc
 
     # ------------------------------------------------------------------
     # Ring hooks (called by repro.core.ring.CoherentQueue when attached)

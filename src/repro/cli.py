@@ -21,6 +21,11 @@ Commands mirror the measurement tooling used throughout the evaluation:
 ``faults``
     Run a fault-injection loopback (canned or file-supplied plan) and
     print the injection and recovery summary.
+``timeline``
+    Run a registered scenario sharded (or load an exported document)
+    and render every windowed series as a sparkline table plus the
+    watchdog findings. Run-shaped commands grow the same telemetry via
+    ``--timeline-out``/``--timeline-interval``.
 ``check``
     Run the static determinism/protocol-hygiene linter over the source
     tree (``repro.check``). The runtime half of the suite attaches to
@@ -49,7 +54,10 @@ from repro.obs import (
     export_flight_json,
     export_metrics_csv,
     export_metrics_json,
+    export_timeline_json,
+    load_timeline_json,
 )
+from repro.obs.timeline import DEFAULT_INTERVAL_NS
 from repro.analysis.microbench import (
     PINGPONG_CASES,
     access_latency_cases,
@@ -118,7 +126,8 @@ def _make_obs(
 
 
 def _export_obs(
-    obs: Optional[Observability], args: argparse.Namespace, flight=None
+    obs: Optional[Observability], args: argparse.Namespace, flight=None,
+    timeline=None,
 ) -> None:
     if obs is None:
         return
@@ -130,7 +139,9 @@ def _export_obs(
             count = sum(len(section) for section in doc["metrics"].values())
         print(f"wrote {count} metrics to {args.metrics_out}")
     if args.trace_out:
-        events = export_chrome_trace(obs.tracer, args.trace_out, flight=flight)
+        events = export_chrome_trace(
+            obs.tracer, args.trace_out, flight=flight, timeline=timeline
+        )
         print(f"wrote {events} trace events to {args.trace_out}")
 
 
@@ -152,12 +163,137 @@ def _make_flight(args: argparse.Namespace) -> Optional[FlightRecorder]:
     return FlightRecorder()
 
 
-def _export_flight(flight, args: argparse.Namespace, config: dict) -> None:
+def _spec_fingerprint(config: dict) -> str:
+    """Deterministic fingerprint of a run's config block.
+
+    The same hash :func:`repro.shard.merge.fingerprint` uses for metric
+    documents, so a flight/sanitize report can be matched to the run
+    shape that produced it.
+    """
+    from repro.shard.merge import fingerprint
+
+    return fingerprint(config)
+
+
+def _export_flight(
+    flight, args: argparse.Namespace, config: dict, scenario: str = None
+) -> None:
     if flight is None or not getattr(args, "flight_out", None):
         return
-    report = flight.report(config=config)
+    report = flight.report(
+        config=config, scenario=scenario,
+        spec_fingerprint=_spec_fingerprint(config),
+    )
     export_flight_json(report, args.flight_out)
     print(f"wrote flight report to {args.flight_out}")
+
+
+# ----------------------------------------------------------------------
+# Timeline plumbing (shared by loopback / faults / counters / kv / rpc /
+# profile, plus the ``timeline`` command itself)
+# ----------------------------------------------------------------------
+def _add_heartbeat_arg(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SEC",
+        help="print a wall-clock progress line to stderr every SEC seconds "
+             "while shards run (operator-only; never touches results)",
+    )
+
+
+def _make_timeline(args: argparse.Namespace):
+    """Build a timeline sampler when ``--timeline-out`` asks for one."""
+    if getattr(args, "timeline_out", None) is None:
+        return None
+    from repro.obs.timeline import TimelineSampler
+
+    _check_writable(args.timeline_out)
+    return TimelineSampler(interval_ns=args.timeline_interval)
+
+
+def _export_timeline(sampler, args: argparse.Namespace, scenario: str = None) -> None:
+    """Run the watchdogs over a finished sampler and write its document."""
+    if sampler is None or not getattr(args, "timeline_out", None):
+        return
+    from repro.obs.timeline import run_watchdogs
+
+    doc = sampler.to_doc()
+    if scenario is not None:
+        doc["scenario"] = scenario
+    doc["findings"] = run_watchdogs(doc)
+    export_timeline_json(doc, args.timeline_out)
+    print(f"wrote timeline ({doc['windows']} window(s), "
+          f"{len(doc['findings'])} finding(s)) to {args.timeline_out}")
+
+
+def _export_merged_timeline(doc, args: argparse.Namespace) -> None:
+    """Write a sharded run's merged timeline document (findings included)."""
+    if doc is None or not getattr(args, "timeline_out", None):
+        return
+    export_timeline_json(doc, args.timeline_out)
+    print(f"wrote merged timeline ({doc['windows']} window(s), "
+          f"{len(doc['findings'])} finding(s)) to {args.timeline_out}")
+
+
+#: Sparkline ramp: blank for zero, full block for the series maximum.
+_SPARK = " ▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: list, width: int = 60) -> str:
+    """One series as a unicode sparkline, bucket-averaged down to width."""
+    if not values:
+        return ""
+    if len(values) > width:
+        step = len(values) / width
+        buckets = []
+        for i in range(width):
+            lo = int(i * step)
+            hi = max(lo + 1, int((i + 1) * step))
+            chunk = values[lo:hi]
+            buckets.append(sum(chunk) / len(chunk))
+        values = buckets
+    top = max(values)
+    if top <= 0:
+        return _SPARK[0] * len(values)
+    scale = (len(_SPARK) - 1) / top
+    return "".join(
+        _SPARK[min(len(_SPARK) - 1, int(v * scale + 0.5))] for v in values
+    )
+
+
+def _timeline_rows(doc: dict) -> list:
+    """``(series, last, max, sparkline)`` rows for every timeline series.
+
+    Histogram series expand to ``.count`` and ``.p99`` rows (empty
+    windows render as zero so the sparkline keeps its time axis).
+    """
+    def fmt(value):
+        return f"{value:.4g}"
+
+    rows = []
+    for kind in ("counters", "gauges"):
+        for name, values in sorted(doc.get(kind, {}).items()):
+            if not values:
+                continue
+            rows.append((name, fmt(values[-1]), fmt(max(values)),
+                         _sparkline(values)))
+    for name, points in sorted(doc.get("histograms", {}).items()):
+        counts = [p["count"] if p else 0 for p in points]
+        p99s = [p["p99"] if p else 0.0 for p in points]
+        if not counts:
+            continue
+        rows.append((f"{name}.count", fmt(counts[-1]), fmt(max(counts)),
+                     _sparkline(counts)))
+        rows.append((f"{name}.p99", fmt(p99s[-1]), fmt(max(p99s)),
+                     _sparkline(p99s)))
+    return rows
+
+
+def _findings_rows(findings: list) -> list:
+    return [
+        (f["rule"], f["series"], f["window"],
+         f"{f['value']:.4g}", f"{f['threshold']:.4g}", f["detail"])
+        for f in findings
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -189,14 +325,19 @@ def _make_sanitizer(args: argparse.Namespace):
     return Sanitizer(strict=getattr(args, "sanitize", None) == "strict")
 
 
-def _report_sanitizer(sanitizer, args: argparse.Namespace, config: dict) -> int:
+def _report_sanitizer(
+    sanitizer, args: argparse.Namespace, config: dict, scenario: str = None
+) -> int:
     """Print + export the sanitizer report; non-zero when it found races."""
     if sanitizer is None:
         return 0
     from repro.analysis.checks import format_rule_summary, format_violation_table
     from repro.obs.export import export_sanitize_json
 
-    report = sanitizer.report(config=config)
+    report = sanitizer.report(
+        config=config, scenario=scenario,
+        spec_fingerprint=_spec_fingerprint(config),
+    )
     print()
     print(format_rule_summary(report))
     if report["findings"]:
@@ -307,6 +448,17 @@ def _run_flags(**overrides) -> argparse.ArgumentParser:
                         help="closed-loop window depth")
     parent.add_argument("--batch", type=int, default=32, metavar="N",
                         help="tx/rx burst size")
+    parent.add_argument(
+        "--timeline-out", default=None, metavar="FILE",
+        help="write the windowed timeline document "
+             "(JSON, repro.obs/timeline-v1)",
+    )
+    parent.add_argument(
+        "--timeline-interval", type=float, default=DEFAULT_INTERVAL_NS,
+        metavar="NS",
+        help="timeline window width in simulated nanoseconds "
+             f"(default {DEFAULT_INTERVAL_NS:.0f})",
+    )
     if overrides:
         parent.set_defaults(**overrides)
     return parent
@@ -381,6 +533,7 @@ def _loopback_sharded(args: argparse.Namespace) -> int:
         "--sanitize-out": (args.sanitize_out, None),
     })
     _check_writable(args.metrics_out)
+    _check_writable(args.timeline_out)
     try:
         spec = ScenarioSpec(
             name=f"loopback_cli_{args.size}b",
@@ -400,7 +553,11 @@ def _loopback_sharded(args: argparse.Namespace) -> int:
     except ConfigError as exc:
         raise SystemExit(f"error: {exc}")
     run = run_sharded(
-        spec, with_metrics=args.metrics_out is not None, progress=print
+        spec, with_metrics=args.metrics_out is not None, progress=print,
+        timeline_interval=(
+            args.timeline_interval if args.timeline_out is not None else None
+        ),
+        heartbeat_s=args.heartbeat,
     )
     merged = run.doc["merged"]
     rows = [
@@ -417,6 +574,7 @@ def _loopback_sharded(args: argparse.Namespace) -> int:
               f"on {args.platform}",
     ))
     _export_merged_metrics(run.metrics, args)
+    _export_merged_timeline(run.timeline, args)
     return 0
 
 
@@ -429,6 +587,7 @@ def cmd_loopback(args: argparse.Namespace) -> int:
     faults, recovery = _make_faults(args)
     flight = _make_flight(args)
     sanitizer = _make_sanitizer(args)
+    timeline = _make_timeline(args)
     setup = build_interface(
         spec,
         kind,
@@ -446,6 +605,10 @@ def cmd_loopback(args: argparse.Namespace) -> int:
         from repro.analysis.checks import attach_sanitizer
 
         attach_sanitizer(setup, sanitizer)
+    if timeline is not None:
+        from repro.obs.timeline import attach_timeline
+
+        attach_timeline(timeline, setup)
     sanitize_config = {
         "command": "loopback", "platform": spec.name, "interface": kind.value,
         "pkt_size": args.size, "n_packets": args.packets,
@@ -464,11 +627,15 @@ def cmd_loopback(args: argparse.Namespace) -> int:
                 obs=obs,
                 recovery=recovery,
                 flight=flight,
+                timeline=timeline,
             )
     except SanitizerError as exc:
         _print_sanitizer_error(exc)
-        _report_sanitizer(sanitizer, args, sanitize_config)
+        _report_sanitizer(sanitizer, args, sanitize_config,
+                          scenario=f"loopback_cli_{args.size}b")
         return 2
+    if timeline is not None:
+        timeline.finish(setup.system.sim.now)
     d0, d1 = wire_bytes_per_packet(setup, result)
     rows = [
         ("received packets", result.received),
@@ -487,12 +654,14 @@ def cmd_loopback(args: argparse.Namespace) -> int:
         rows,
         title=f"{kind.value} loopback, {args.size}B packets on {spec.name}",
     ))
-    _export_obs(obs, args, flight=flight)
+    _export_obs(obs, args, flight=flight, timeline=timeline)
+    scenario = f"loopback_cli_{args.size}b"
     _export_flight(flight, args, config={
         "command": "loopback", "platform": spec.name, "interface": kind.value,
         "pkt_size": args.size, "n_packets": args.packets,
-    })
-    return _report_sanitizer(sanitizer, args, sanitize_config)
+    }, scenario=scenario)
+    _export_timeline(timeline, args, scenario=scenario)
+    return _report_sanitizer(sanitizer, args, sanitize_config, scenario=scenario)
 
 
 def cmd_faults(args: argparse.Namespace) -> int:
@@ -503,7 +672,12 @@ def cmd_faults(args: argparse.Namespace) -> int:
     if args.fault_plan is None:
         args.fault_plan = "canned"
     faults, recovery = _make_faults(args)
+    timeline = _make_timeline(args)
     setup = build_interface(spec, kind, obs=obs, faults=faults)
+    if timeline is not None:
+        from repro.obs.timeline import attach_timeline
+
+        attach_timeline(timeline, setup)
     with _maybe_trace_fabric(obs, setup.system.fabric):
         result = run_point(
             setup,
@@ -514,7 +688,10 @@ def cmd_faults(args: argparse.Namespace) -> int:
             rx_batch=args.batch,
             obs=obs,
             recovery=recovery,
+            timeline=timeline,
         )
+    if timeline is not None:
+        timeline.finish(setup.system.sim.now)
     completed = result.received + result.dropped
     rows = [
         ("plan", faults.plan.name),
@@ -531,7 +708,8 @@ def cmd_faults(args: argparse.Namespace) -> int:
         rows,
         title=f"{kind.value} fault injection on {spec.name}",
     ))
-    _export_obs(obs, args)
+    _export_obs(obs, args, timeline=timeline)
+    _export_timeline(timeline, args, scenario=f"faults_cli_{faults.plan.name}")
     if completed < args.packets or result.received == 0:
         print("FAIL: run did not recover (incomplete window or zero goodput)")
         return 1
@@ -584,10 +762,18 @@ def cmd_counters(args: argparse.Namespace) -> int:
     # This command always runs with a live registry: the table below is
     # read from the registry's "fabric" section, not the fabric object.
     obs = _make_obs(args, force_metrics=True)
+    timeline = _make_timeline(args)
     setup = build_interface(spec, kind, obs=obs)
+    if timeline is not None:
+        from repro.obs.timeline import attach_timeline
+
+        attach_timeline(timeline, setup)
     with _maybe_trace_fabric(obs, setup.system.fabric):
         result = run_point(setup, args.size, args.packets, inflight=args.inflight,
-                           tx_batch=args.batch, rx_batch=args.batch, obs=obs)
+                           tx_batch=args.batch, rx_batch=args.batch, obs=obs,
+                           timeline=timeline)
+    if timeline is not None:
+        timeline.finish(setup.system.sim.now)
     counters = obs.metrics.snapshot().get("fabric", {})
     nic = setup.system.nic_socket
     rows = [
@@ -601,7 +787,8 @@ def cmd_counters(args: argparse.Namespace) -> int:
         title=f"{kind.value} batched {args.size}B loopback "
               f"({result.received} packets)",
     ))
-    _export_obs(obs, args)
+    _export_obs(obs, args, timeline=timeline)
+    _export_timeline(timeline, args, scenario=f"counters_cli_{args.size}b")
     return 0
 
 
@@ -621,6 +808,7 @@ def _kv_sharded(args: argparse.Namespace) -> int:
         "--sanitize-out": (args.sanitize_out, None),
     })
     _check_writable(args.metrics_out)
+    _check_writable(args.timeline_out)
     try:
         spec = ScenarioSpec(
             name=f"kv_cli_{args.distribution}",
@@ -637,7 +825,11 @@ def _kv_sharded(args: argparse.Namespace) -> int:
     except ConfigError as exc:
         raise SystemExit(f"error: {exc}")
     run = run_sharded(
-        spec, with_metrics=args.metrics_out is not None, progress=print
+        spec, with_metrics=args.metrics_out is not None, progress=print,
+        timeline_interval=(
+            args.timeline_interval if args.timeline_out is not None else None
+        ),
+        heartbeat_s=args.heartbeat,
     )
     merged = run.doc["merged"]
     rows = [
@@ -651,6 +843,7 @@ def _kv_sharded(args: argparse.Namespace) -> int:
               f"on {args.platform}",
     ))
     _export_merged_metrics(run.metrics, args)
+    _export_merged_timeline(run.timeline, args)
     return 0
 
 
@@ -671,29 +864,36 @@ def cmd_kv(args: argparse.Namespace) -> int:
     obs = _make_obs(args)
     flight = _make_flight(args)
     sanitizer = _make_sanitizer(args)
+    timeline = _make_timeline(args)
+    scenario = f"kv_cli_{args.distribution}"
     sanitize_config = {
         "command": "kv", "platform": spec.name, "interface": args.interface,
         "distribution": args.distribution, "n_ops": args.packets,
         "mode": getattr(args, "sanitize", None) or "on",
     }
     rows = []
-    for kind in _study_kinds(args):
+    kinds = _study_kinds(args)
+    for kind in kinds:
         # Fresh injector per comparison point: one-shot NIC events and
         # the RNG stream must not be shared between the two systems.
         faults, _recovery = _make_faults(args)
-        # The flight recorder and sanitizer cover the coherent point
-        # only: mixing line addresses from two systems would corrupt
-        # the thrash table and the happens-before state.
+        # The flight recorder, sanitizer and timeline cover one system
+        # only (the coherent point when two run): mixing line addresses
+        # or windowed series from two systems would corrupt the thrash
+        # table, the happens-before state and the per-series rings.
+        instrument = kind.is_coherent or len(kinds) == 1
         try:
             study = kv_thread_study(
                 spec, kind, workload, n_ops=args.packets, batch=args.batch,
                 obs=obs, faults=faults,
                 flight=flight if kind.is_coherent else None,
                 sanitizer=sanitizer if kind.is_coherent else None,
+                timeline=timeline if instrument else None,
             )
         except SanitizerError as exc:
             _print_sanitizer_error(exc)
-            _report_sanitizer(sanitizer, args, sanitize_config)
+            _report_sanitizer(sanitizer, args, sanitize_config,
+                              scenario=scenario)
             return 2
         rows.append((kind.value, study.per_thread_mops, study.peak_mops,
                      study.threads_to_saturate(spec)))
@@ -702,12 +902,13 @@ def cmd_kv(args: argparse.Namespace) -> int:
         rows,
         title=f"KV store ({args.distribution}) on {spec.name}",
     ))
-    _export_obs(obs, args, flight=flight)
+    _export_obs(obs, args, flight=flight, timeline=timeline)
     _export_flight(flight, args, config={
         "command": "kv", "platform": spec.name, "interface": args.interface,
         "distribution": args.distribution, "n_ops": args.packets,
-    })
-    return _report_sanitizer(sanitizer, args, sanitize_config)
+    }, scenario=scenario)
+    _export_timeline(timeline, args, scenario=scenario)
+    return _report_sanitizer(sanitizer, args, sanitize_config, scenario=scenario)
 
 
 def cmd_rpc(args: argparse.Namespace) -> int:
@@ -717,24 +918,30 @@ def cmd_rpc(args: argparse.Namespace) -> int:
     obs = _make_obs(args)
     flight = _make_flight(args)
     sanitizer = _make_sanitizer(args)
+    timeline = _make_timeline(args)
+    scenario = "rpc_cli"
     sanitize_config = {
         "command": "rpc", "platform": spec.name, "interface": args.interface,
         "n_ops": args.packets, "mode": getattr(args, "sanitize", None) or "on",
     }
     rows = []
-    for kind in _study_kinds(args):
+    kinds = _study_kinds(args)
+    for kind in kinds:
         # Fresh injector per comparison point (see cmd_kv).
         faults, _recovery = _make_faults(args)
+        instrument = kind.is_coherent or len(kinds) == 1
         try:
             study = rpc_thread_study(
                 spec, kind, n_ops=args.packets, batch=args.batch,
                 obs=obs, faults=faults,
                 flight=flight if kind.is_coherent else None,
                 sanitizer=sanitizer if kind.is_coherent else None,
+                timeline=timeline if instrument else None,
             )
         except SanitizerError as exc:
             _print_sanitizer_error(exc)
-            _report_sanitizer(sanitizer, args, sanitize_config)
+            _report_sanitizer(sanitizer, args, sanitize_config,
+                              scenario=scenario)
             return 2
         rows.append((kind.value, study.per_thread_mops, study.peak_mops,
                      study.threads_to_saturate()))
@@ -743,12 +950,13 @@ def cmd_rpc(args: argparse.Namespace) -> int:
         rows,
         title=f"TCP echo RPC (TAS-like) on {spec.name}",
     ))
-    _export_obs(obs, args, flight=flight)
+    _export_obs(obs, args, flight=flight, timeline=timeline)
     _export_flight(flight, args, config={
         "command": "rpc", "platform": spec.name, "interface": args.interface,
         "n_ops": args.packets,
-    })
-    return _report_sanitizer(sanitizer, args, sanitize_config)
+    }, scenario=scenario)
+    _export_timeline(timeline, args, scenario=scenario)
+    return _report_sanitizer(sanitizer, args, sanitize_config, scenario=scenario)
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -765,6 +973,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
     kind = _kind(args.interface)
     _check_writable(args.flight_out)
     obs = _make_obs(args)
+    timeline = _make_timeline(args)
+    scenario = f"profile_cli_{kind.value}"
     run = run_profile(
         spec,
         kind,
@@ -776,6 +986,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
         sample_every=args.sample_every,
         top=args.top,
         obs=obs,
+        timeline=timeline,
+        scenario=scenario,
     )
     report = run.report
     print(
@@ -795,7 +1007,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
     if args.flight_out:
         export_flight_json(report, args.flight_out)
         print(f"wrote flight report to {args.flight_out}")
-    _export_obs(obs, args, flight=run.recorder)
+    _export_obs(obs, args, flight=run.recorder, timeline=timeline)
+    _export_timeline(timeline, args, scenario=scenario)
     return 0
 
 
@@ -910,6 +1123,18 @@ def cmd_perf(args: argparse.Namespace) -> int:
         rows,
         title=f"Simulator self-benchmark ({mode})",
     ))
+    # Diff against the *committed* trajectory document before
+    # write_bench overwrites it below.
+    committed = perf.load_bench(args.out) if compare else None
+    if committed is not None:
+        delta_rows = perf.bench_delta_rows(doc, committed)
+        if delta_rows:
+            print()
+            print(format_table(
+                ["Scenario", "Committed ev/s", "This run ev/s", "Delta"],
+                delta_rows,
+                title=f"events/sec vs committed {args.out}",
+            ))
     path = perf.write_bench(doc, args.out)
     print(f"wrote {path}")
     status = 0
@@ -926,6 +1151,64 @@ def cmd_perf(args: argparse.Namespace) -> int:
     if not failures and baseline is not None:
         print(f"regression check OK (tolerance {args.tolerance:.0%})")
     return status
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    """Render a run's windowed timeline as sparkline tables + findings."""
+    from repro.obs.timeline import run_watchdogs
+
+    if args.load is not None:
+        doc = load_timeline_json(args.load)
+        title = doc.get("scenario") or args.load
+    else:
+        import repro.topology  # noqa: F401  registers the rack scenarios
+
+        from repro.shard import run_sharded, scenario, scenario_names
+
+        _check_writable(args.out)
+        registered = scenario_names()
+        if args.scenario not in registered:
+            raise SystemExit(
+                f"error: unknown scenario {args.scenario!r} "
+                f"(registered: {', '.join(registered)})"
+            )
+        run = run_sharded(
+            scenario(args.scenario),
+            workers=args.workers,
+            quick=args.quick,
+            timeline_interval=args.interval,
+            heartbeat_s=args.heartbeat,
+            progress=print,
+        )
+        # Copy before stamping: the run object keeps its merged doc
+        # pristine (and the hook-guard lint tracks `.timeline` reads).
+        doc = dict(run.timeline)
+        doc["scenario"] = args.scenario
+        title = (f"{args.scenario}, {run.n_shards} shard(s), "
+                 f"fingerprint {run.fingerprint}")
+    findings = doc.get("findings")
+    if findings is None:
+        findings = run_watchdogs(doc)
+        doc["findings"] = findings
+    print(format_table(
+        ["Series", "Last", "Max", "Sparkline"],
+        _timeline_rows(doc),
+        title=f"timeline: {title} — {doc['windows']} window(s) of "
+              f"{doc['interval_ns']:.0f} ns",
+    ))
+    print()
+    if findings:
+        print(format_table(
+            ["Rule", "Series", "Window", "Value", "Threshold", "Detail"],
+            _findings_rows(findings),
+            title=f"watchdog findings ({len(findings)})",
+        ))
+    else:
+        print("watchdogs: no findings")
+    if args.out:
+        export_timeline_json(doc, args.out)
+        print(f"wrote timeline to {args.out}")
+    return 0
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -984,6 +1267,7 @@ def build_parser() -> argparse.ArgumentParser:
     lb.add_argument("--latency-factor", type=float, default=1.0)
     lb.add_argument("--bandwidth-factor", type=float, default=1.0)
     _add_shard_args(lb)
+    _add_heartbeat_arg(lb)
     _add_obs_args(lb)
     _add_fault_args(lb)
     _add_flight_args(lb)
@@ -1000,8 +1284,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_flight_args(pr)
     pr.set_defaults(func=cmd_profile)
 
+    # Fault runs span the recovery windows (~10x a clean loopback's
+    # simulated time), so their default window is coarser.
     fl = sub.add_parser("faults", help="fault-injection loopback study",
-                        parents=[_run_flags(size=256, packets=6000)])
+                        parents=[_run_flags(size=256, packets=6000,
+                                            timeline_interval=2000.0)])
     fl.add_argument(
         "--only", action="append", metavar="KIND", choices=list(FAULT_KINDS),
         help="restrict the plan to these fault kinds (repeatable)",
@@ -1019,12 +1306,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_args(ct)
     ct.set_defaults(func=cmd_counters)
 
+    # The app studies probe a single fast-path thread for a few tens of
+    # microseconds of simulated time; halve the window to keep the
+    # latency series populated.
     kv = sub.add_parser("kv", help="KV store thread study",
-                        parents=[_run_flags(interface="both", packets=2000)])
+                        parents=[_run_flags(interface="both", packets=2000,
+                                            timeline_interval=500.0)])
     kv.add_argument("--distribution", default="ads", choices=["ads", "geo"])
     kv.add_argument("--ops", dest="packets", type=int, metavar="N",
                     help="alias for --packets (RPC op count)")
     _add_shard_args(kv)
+    _add_heartbeat_arg(kv)
     _add_obs_args(kv)
     _add_fault_args(kv)
     _add_flight_args(kv)
@@ -1032,7 +1324,8 @@ def build_parser() -> argparse.ArgumentParser:
     kv.set_defaults(func=cmd_kv)
 
     rpc = sub.add_parser("rpc", help="TCP RPC thread study",
-                         parents=[_run_flags(interface="both", packets=2000)])
+                         parents=[_run_flags(interface="both", packets=2000,
+                                             timeline_interval=500.0)])
     rpc.add_argument("--ops", dest="packets", type=int, metavar="N",
                      help="alias for --packets (RPC op count)")
     _add_obs_args(rpc)
@@ -1077,6 +1370,29 @@ def build_parser() -> argparse.ArgumentParser:
              "cumulative JSON/text artifacts next to --out",
     )
     pf.set_defaults(func=cmd_perf)
+
+    tm = sub.add_parser(
+        "timeline",
+        help="windowed timeline sparklines + watchdog findings",
+    )
+    tm.add_argument("--scenario", default="faults_canned", metavar="NAME",
+                    help="registered scenario to run (default: faults_canned)")
+    tm.add_argument("--workers", type=int, default=None, metavar="N",
+                    help="worker processes for the sharded run")
+    tm.add_argument("--quick", action="store_true",
+                    help="small scenario sizes (CI smoke)")
+    tm.add_argument("--interval", type=float, default=DEFAULT_INTERVAL_NS,
+                    metavar="NS",
+                    help="window width in simulated nanoseconds "
+                         f"(default {DEFAULT_INTERVAL_NS:.0f})")
+    tm.add_argument("--load", default=None, metavar="FILE",
+                    help="render an exported timeline document instead of "
+                         "running a scenario")
+    tm.add_argument("--out", default=None, metavar="FILE",
+                    help="write the merged timeline document "
+                         "(JSON, repro.obs/timeline-v1)")
+    _add_heartbeat_arg(tm)
+    tm.set_defaults(func=cmd_timeline)
 
     ck = sub.add_parser("check", help="static determinism/protocol lint")
     ck.add_argument("--root", default=None, metavar="DIR",

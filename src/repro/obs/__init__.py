@@ -67,28 +67,45 @@ from repro.obs.flight import (
 )
 from repro.obs.waterfall import STAGES, PacketWaterfall, WaterfallStats
 from repro.obs.export import (
+    TIMELINE_SCHEMA,
     export_chrome_trace,
     export_flight_json,
     export_lint_json,
     export_metrics_csv,
     export_metrics_json,
     export_sanitize_json,
+    export_timeline_json,
     load_flight_json,
     load_lint_json,
     load_metrics_csv,
     load_metrics_json,
     load_sanitize_json,
+    load_timeline_json,
     metrics_rows,
+)
+from repro.obs.timeline import (
+    DEFAULT_WATCHDOGS,
+    LatencyRegressionRule,
+    LinkSaturationRule,
+    StalledProgressRule,
+    TimelineSampler,
+    attach_timeline,
+    detach_timeline,
+    run_watchdogs,
+    timeline_counter_tracks,
 )
 from repro.obs.wire import instrument_all
 
 __all__ = [
     "CounterMetric",
+    "DEFAULT_WATCHDOGS",
     "FLIGHT_OFF",
     "FlightRecorder",
     "GaugeMetric",
     "HistogramMetric",
     "Instrumented",
+    "LatencyRegressionRule",
+    "LinkSaturationRule",
     "MetricRegistry",
     "NULL_METRIC",
     "NullFlightRecorder",
@@ -101,10 +118,15 @@ __all__ = [
     "STAGES",
     "Span",
     "SpanTracer",
+    "StalledProgressRule",
+    "TIMELINE_SCHEMA",
+    "TimelineSampler",
     "WaterfallStats",
     "attach_flight",
+    "attach_timeline",
     "classify_region",
     "detach_flight",
+    "detach_timeline",
     "merge_snapshots",
     "export_chrome_trace",
     "export_flight_json",
@@ -112,11 +134,15 @@ __all__ = [
     "export_metrics_csv",
     "export_metrics_json",
     "export_sanitize_json",
+    "export_timeline_json",
     "instrument_all",
     "load_flight_json",
     "load_lint_json",
     "load_metrics_csv",
     "load_metrics_json",
     "load_sanitize_json",
+    "load_timeline_json",
     "metrics_rows",
+    "run_watchdogs",
+    "timeline_counter_tracks",
 ]

@@ -24,6 +24,8 @@ LINT_SCHEMA = "repro.check/lint-v1"
 
 TOPOLOGY_SCHEMA = "repro.topology/stats-v1"
 
+TIMELINE_SCHEMA = "repro.obs/timeline-v1"
+
 
 def metrics_rows(registry) -> List[Tuple[str, str, float]]:
     """Flatten a registry snapshot into sorted (component, metric, value) rows."""
@@ -155,6 +157,22 @@ def load_topology_json(path: str) -> Dict[str, Any]:
     return _load_stamped_json(path, TOPOLOGY_SCHEMA, "topology")
 
 
+def export_timeline_json(report: Dict[str, Any], path: str) -> Dict[str, Any]:
+    """Write a timeline document as JSON.
+
+    ``report`` comes from
+    :meth:`repro.obs.timeline.TimelineSampler.to_doc` or
+    :func:`repro.shard.merge.merge_timelines`; both stamp
+    ``schema: repro.obs/timeline-v1``.
+    """
+    return _export_stamped_json(report, path, TIMELINE_SCHEMA, "timeline")
+
+
+def load_timeline_json(path: str) -> Dict[str, Any]:
+    """Read a timeline document back; rejects foreign schemas."""
+    return _load_stamped_json(path, TIMELINE_SCHEMA, "timeline")
+
+
 def export_lint_json(report: Dict[str, Any], path: str) -> Dict[str, Any]:
     """Write a lint report (from ``LintReport.as_report``) as JSON."""
     return _export_stamped_json(report, path, LINT_SCHEMA, "lint")
@@ -165,18 +183,28 @@ def load_lint_json(path: str) -> Dict[str, Any]:
     return _load_stamped_json(path, LINT_SCHEMA, "lint")
 
 
-def export_chrome_trace(tracer, path: str, flight=None) -> int:
+def export_chrome_trace(tracer, path: str, flight=None, timeline=None) -> int:
     """Write the tracer's span timeline as a Chrome trace JSON file.
 
     Load in ``chrome://tracing`` or https://ui.perfetto.dev. When a
     :class:`~repro.obs.flight.FlightRecorder` is given, its per-class
     cross-socket-transfer counter tracks are merged into the same
-    timeline as Perfetto counter (``"C"``) events. Returns the number
-    of trace events written (including metadata rows).
+    timeline as Perfetto counter (``"C"``) events; a
+    :class:`~repro.obs.timeline.TimelineSampler` (or an already-built
+    timeline document) contributes one counter track per windowed
+    series. Returns the number of trace events written (including
+    metadata rows).
     """
     doc = tracer.to_chrome()
     if flight is not None:
         doc["traceEvents"].extend(flight.counter_tracks())
+    if timeline is not None:
+        if hasattr(timeline, "counter_tracks"):
+            doc["traceEvents"].extend(timeline.counter_tracks())
+        else:
+            from repro.obs.timeline import timeline_counter_tracks
+
+            doc["traceEvents"].extend(timeline_counter_tracks(timeline))
     with open(path, "w") as fh:
         json.dump(doc, fh)
         fh.write("\n")

@@ -353,8 +353,19 @@ class FlightRecorder:
             row["latency_ns"] += stats.latency_ns
         return out
 
-    def report(self, top: int = 10, config: Optional[Dict[str, Any]] = None) -> Dict:
-        """Full flight report (see ``repro.obs/flight-v1`` schema docs)."""
+    def report(
+        self,
+        top: int = 10,
+        config: Optional[Dict[str, Any]] = None,
+        scenario: Optional[str] = None,
+        spec_fingerprint: Optional[str] = None,
+    ) -> Dict:
+        """Full flight report (see ``repro.obs/flight-v1`` schema docs).
+
+        ``scenario`` and ``spec_fingerprint`` stamp the report with the
+        run it came from; loaders ignore the fields when absent, so
+        pre-stamp documents keep loading.
+        """
         incomplete = len(self._active)
         self.waterfalls.incomplete = incomplete
         doc: Dict[str, Any] = {
@@ -374,6 +385,10 @@ class FlightRecorder:
         }
         if config:
             doc["config"] = dict(config)
+        if scenario is not None:
+            doc["scenario"] = scenario
+        if spec_fingerprint is not None:
+            doc["spec_fingerprint"] = spec_fingerprint
         return doc
 
     def counter_tracks(self, buckets: int = 64) -> List[Dict[str, Any]]:
@@ -451,7 +466,8 @@ class NullFlightRecorder:
     def packet_finish(self, pkt_id: int, ts: float) -> None:
         pass
 
-    def report(self, top: int = 10, config=None) -> Dict:
+    def report(self, top: int = 10, config=None, scenario=None,
+               spec_fingerprint=None) -> Dict:
         return {"schema": "repro.obs/flight-v1", "disabled": True}
 
     def counter_tracks(self, buckets: int = 64) -> List:

@@ -137,6 +137,91 @@ def merge_results(results: Sequence[Dict], scenario: str, lookahead_ns: float) -
     }
 
 
+def merge_timelines(results: Sequence[Dict]) -> Dict:
+    """Deterministic window-aligned merge of per-shard timeline docs.
+
+    Shards run concurrently in virtual time and share one window grid
+    (``interval_ns`` is part of the run configuration and window 0
+    starts at t=0), so merging is a per-window reduction in shard-index
+    order: counter and gauge series sum (a shard that ended before a
+    window contributes 0), histogram windows pool their raw samples and
+    recompute p50/p99 exactly — order statistics are a function of the
+    sample multiset, so the merged document is bit-identical for any
+    worker count. Watchdog findings are evaluated on the merged series.
+
+    Returns ``None`` when no shard carried a timeline. Raises
+    :class:`ConfigError` on misaligned grids (differing intervals, or a
+    ring that already evicted windows — merge needs the full run).
+    """
+    ordered = sorted(
+        (r for r in results if r.get("timeline")),
+        key=lambda r: r["index"],
+    )
+    if not ordered:
+        return None
+    docs = [r["timeline"] for r in ordered]
+    interval = docs[0]["interval_ns"]
+    for doc in docs:
+        if doc["interval_ns"] != interval:
+            raise ConfigError(
+                f"timeline merge: interval mismatch "
+                f"({doc['interval_ns']} != {interval})"
+            )
+        if doc.get("start", 0) != 0:
+            raise ConfigError(
+                "timeline merge: shard evicted early windows "
+                f"(start={doc['start']}); raise the sampler capacity"
+            )
+    windows = max(doc["windows"] for doc in docs)
+
+    def merged_series(kind: str) -> Dict[str, List[float]]:
+        names = sorted({name for doc in docs for name in doc.get(kind, {})})
+        out: Dict[str, List[float]] = {}
+        for name in names:
+            rows = [doc.get(kind, {}).get(name, []) for doc in docs]
+            out[name] = [
+                sum(row[w] for row in rows if w < len(row)) for w in range(windows)
+            ]
+        return out
+
+    histograms: Dict[str, List] = {}
+    hist_names = sorted({name for doc in docs for name in doc.get("histograms", {})})
+    for name in hist_names:
+        points: List = []
+        for w in range(windows):
+            pooled = Histogram(name)
+            for doc in docs:
+                samples = doc.get("samples", {}).get(name, [])
+                if w < len(samples):
+                    pooled.extend(samples[w])
+            if pooled.count:
+                points.append(
+                    {
+                        "count": pooled.count,
+                        "p50": pooled.percentile(50),
+                        "p99": pooled.percentile(99),
+                    }
+                )
+            else:
+                points.append(None)
+        histograms[name] = points
+
+    merged = {
+        "schema": docs[0]["schema"],
+        "interval_ns": interval,
+        "start": 0,
+        "windows": windows,
+        "n_shards": len(ordered),
+        "counters": merged_series("counters"),
+        "gauges": merged_series("gauges"),
+        "histograms": histograms,
+    }
+    from repro.obs.timeline import run_watchdogs
+
+    merged["findings"] = run_watchdogs(merged)
+    return merged
+
+
 def merge_metrics(results: Sequence[Dict]) -> Dict[str, Dict[str, float]]:
     """Merged :class:`~repro.obs.MetricRegistry` snapshot over shards.
 

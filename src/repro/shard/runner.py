@@ -36,6 +36,8 @@ from __future__ import annotations
 import gc
 import multiprocessing
 import os
+import sys
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -45,7 +47,12 @@ from repro.analysis.loopback import InterfaceKind, build_interface, run_point
 from repro.core.recovery import RecoveryPolicy
 from repro.errors import ConfigError
 from repro.platform import icx, spr
-from repro.shard.merge import fingerprint, merge_metrics, merge_results
+from repro.shard.merge import (
+    fingerprint,
+    merge_metrics,
+    merge_results,
+    merge_timelines,
+)
 from repro.shard.spec import ScenarioSpec, scenario
 
 
@@ -137,7 +144,31 @@ def _loopback_route(net, host: str, tor: str):
     return route
 
 
-def _execute_loopback(spec: ScenarioSpec, quick: bool, obs) -> Dict:
+def _make_timeline(timeline_interval, setup, net):
+    """Build and attach a sampler, or None when timelines are off."""
+    if timeline_interval is None:
+        return None
+    from repro.obs.timeline import TimelineSampler, attach_timeline
+
+    sampler = TimelineSampler(interval_ns=timeline_interval)
+    attach_timeline(sampler, setup, net=net)
+    return sampler
+
+
+def _finish_timeline(sampler, result, system) -> None:
+    """Close the trailing window; attach the samples-bearing doc.
+
+    The timeline rides *alongside* the fingerprint snapshot (like
+    ``metrics``), never inside it, so attached runs stay
+    fingerprint-identical to detached ones.
+    """
+    if sampler is None:
+        return
+    sampler.finish(system.sim.now)
+    result["timeline"] = sampler.to_doc(include_samples=True)
+
+
+def _execute_loopback(spec: ScenarioSpec, quick: bool, obs, timeline_interval) -> Dict:
     faults = _make_faults(spec)
     setup = build_interface(
         _platform_spec(spec.platform),
@@ -151,6 +182,7 @@ def _execute_loopback(spec: ScenarioSpec, quick: bool, obs) -> Dict:
     if net is not None:
         host, tor = _topology_endpoints(spec, net)
         route = _loopback_route(net, host, tor)
+    sampler = _make_timeline(timeline_interval, setup, net)
     start = time.perf_counter()  # repro: allow(wall-clock) host benchmark timing
     result = run_point(
         setup,
@@ -163,6 +195,7 @@ def _execute_loopback(spec: ScenarioSpec, quick: bool, obs) -> Dict:
         obs=obs,
         recovery=recovery,
         route=route,
+        timeline=sampler,
     )
     wall = time.perf_counter() - start  # repro: allow(wall-clock) host benchmark timing
     system = setup.system
@@ -184,10 +217,12 @@ def _execute_loopback(spec: ScenarioSpec, quick: bool, obs) -> Dict:
         snapshot["watchdog_resets"] = setup.driver.watchdog_resets
         extra["dropped"] = float(result.dropped)
         extra["injected"] = float(faults.total_injected())
-    return _result_doc(spec, wall, system, snapshot, result.latency.samples(), extra)
+    doc = _result_doc(spec, wall, system, snapshot, result.latency.samples(), extra)
+    _finish_timeline(sampler, doc, system)
+    return doc
 
 
-def _execute_kv(spec: ScenarioSpec, quick: bool, obs) -> Dict:
+def _execute_kv(spec: ScenarioSpec, quick: bool, obs, timeline_interval) -> Dict:
     from repro.apps.kvstore import KvServerApp, KvWorkload
 
     faults = _make_faults(spec)
@@ -229,6 +264,9 @@ def _execute_kv(spec: ScenarioSpec, quick: bool, obs) -> Dict:
             n_ops=spec.count(quick),
             batch=spec.tx_batch,
         )
+    sampler = _make_timeline(timeline_interval, setup, net)
+    if sampler is not None:
+        app.timeline = sampler
     start = time.perf_counter()  # repro: allow(wall-clock) host benchmark timing
     result = app.run()
     wall = time.perf_counter() - start  # repro: allow(wall-clock) host benchmark timing
@@ -244,7 +282,9 @@ def _execute_kv(spec: ScenarioSpec, quick: bool, obs) -> Dict:
         snapshot["topology"] = net.stats_flat()
         snapshot["clients"] = app.clients_seen()
     extra = {"ops": float(result.ops), "mops": result.mops}
-    return _result_doc(spec, wall, system, snapshot, result.latency.samples(), extra)
+    doc = _result_doc(spec, wall, system, snapshot, result.latency.samples(), extra)
+    _finish_timeline(sampler, doc, system)
+    return doc
 
 
 def _system_snapshot(system) -> Dict:
@@ -267,11 +307,15 @@ def _result_doc(spec, wall, system, snapshot, latency_samples, extra) -> Dict:
         "latency_ns": latency_samples,
         "extra": extra,
         "metrics": None,
+        "timeline": None,
     }
 
 
 def execute_spec(
-    spec: ScenarioSpec, quick: bool = False, with_metrics: bool = False
+    spec: ScenarioSpec,
+    quick: bool = False,
+    with_metrics: bool = False,
+    timeline_interval: Optional[float] = None,
 ) -> Dict:
     """Run one spec in this process; returns the shard-result dict.
 
@@ -280,6 +324,12 @@ def execute_spec(
     across shards by :func:`repro.shard.merge.merge_metrics`). Metric
     snapshots ride alongside the fingerprint snapshot; they never enter
     it, so metric-instrumented and bare runs stay comparable.
+
+    ``timeline_interval`` (simulated ns) attaches a
+    :class:`~repro.obs.timeline.TimelineSampler` with the standard
+    series and returns its samples-bearing doc under ``"timeline"`` —
+    also alongside the snapshot, for the same reason (merged across
+    shards by :func:`repro.shard.merge.merge_timelines`).
     """
     spec.validate()
     obs = None
@@ -298,9 +348,9 @@ def execute_spec(
         gc.disable()
     try:
         if spec.workload == "kv":
-            result = _execute_kv(spec, quick, obs)
+            result = _execute_kv(spec, quick, obs, timeline_interval)
         else:
-            result = _execute_loopback(spec, quick, obs)
+            result = _execute_loopback(spec, quick, obs, timeline_interval)
     finally:
         if was_enabled:
             gc.enable()
@@ -311,11 +361,20 @@ def execute_spec(
 
 
 def run_shard(
-    index: int, spec_doc: Dict, quick: bool = False, with_metrics: bool = False
+    index: int,
+    spec_doc: Dict,
+    quick: bool = False,
+    with_metrics: bool = False,
+    timeline_interval: Optional[float] = None,
 ) -> Dict:
     """Process-pool entry point: run shard ``index`` from its doc form."""
     spec = ScenarioSpec.from_doc(spec_doc)
-    result = execute_spec(spec, quick=quick, with_metrics=with_metrics)
+    result = execute_spec(
+        spec,
+        quick=quick,
+        with_metrics=with_metrics,
+        timeline_interval=timeline_interval,
+    )
     result["index"] = index
     return result
 
@@ -357,6 +416,7 @@ class ShardRun:
     extra: Dict[str, float]
     lookahead_ns: float
     metrics: Optional[Dict] = None
+    timeline: Optional[Dict] = None
 
     @property
     def events_per_sec(self) -> float:
@@ -375,12 +435,59 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+class _Heartbeat:
+    """Wall-clock progress heartbeat for long sharded runs.
+
+    Strictly runner-side: it prints ``scenario: done/total shard(s)``
+    lines to stderr from a daemon thread and leaves no trace in any
+    result document, so the fingerprint path never sees it. Wall-clock
+    reads are confined here and waived — this is operator feedback, not
+    simulation state.
+    """
+
+    def __init__(self, scenario: str, total: int, interval_s: float) -> None:
+        self.scenario = scenario
+        self.total = total
+        self.interval_s = interval_s
+        self.start = time.perf_counter()  # repro: allow(wall-clock) operator heartbeat
+        self._done = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._beat, name="shard-heartbeat", daemon=True
+        )
+        self._thread.start()
+
+    def shard_done(self, _future=None) -> None:
+        """Completion callback; accepts a future for add_done_callback."""
+        with self._lock:
+            self._done += 1
+
+    def _beat(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            elapsed = time.perf_counter() - self.start  # repro: allow(wall-clock) operator heartbeat
+            with self._lock:
+                done = self._done
+            print(
+                f"[{self.scenario}] {done}/{self.total} shard(s) done, "
+                f"{elapsed:.0f}s elapsed",
+                file=sys.stderr,
+                flush=True,
+            )
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=1.0)
+
+
 def run_sharded(
     spec: Union[str, ScenarioSpec],
     workers: Optional[int] = None,
     quick: bool = False,
     with_metrics: bool = False,
     progress: Optional[Callable[[str], None]] = None,
+    timeline_interval: Optional[float] = None,
+    heartbeat_s: Optional[float] = None,
 ) -> ShardRun:
     """Run a scenario's partition and merge the per-shard results.
 
@@ -391,6 +498,14 @@ def run_sharded(
     merged fingerprint is identical for every worker count because the
     partition, the per-shard seeds, and the merge order never depend
     on it.
+
+    ``timeline_interval`` attaches a per-shard
+    :class:`~repro.obs.timeline.TimelineSampler` and folds the shard
+    timelines with :func:`~repro.shard.merge.merge_timelines` into
+    :attr:`ShardRun.timeline`; the merged timeline is identical for any
+    worker count, for the same reasons the fingerprint is.
+    ``heartbeat_s`` prints wall-clock progress lines to stderr at that
+    period (operator feedback only — never enters any document).
     """
     if isinstance(spec, str):
         spec = scenario(spec)
@@ -412,24 +527,43 @@ def run_sharded(
     was_enabled = use_workers == 1 and gc.isenabled()
     if was_enabled:
         gc.disable()
+    heartbeat = (
+        _Heartbeat(plan.scenario, n, heartbeat_s) if heartbeat_s is not None else None
+    )
     try:
         start = time.perf_counter()  # repro: allow(wall-clock) host benchmark timing
         if use_workers == 1:
-            results = [
-                run_shard(index, doc, quick=quick, with_metrics=with_metrics)
-                for index, doc in enumerate(docs)
-            ]
+            results = []
+            for index, doc in enumerate(docs):
+                results.append(
+                    run_shard(
+                        index,
+                        doc,
+                        quick=quick,
+                        with_metrics=with_metrics,
+                        timeline_interval=timeline_interval,
+                    )
+                )
+                if heartbeat is not None:
+                    heartbeat.shard_done()
         else:
             with ProcessPoolExecutor(
                 max_workers=use_workers, mp_context=_pool_context()
             ) as pool:
                 futures = [
-                    pool.submit(run_shard, index, doc, quick, with_metrics)
+                    pool.submit(
+                        run_shard, index, doc, quick, with_metrics, timeline_interval
+                    )
                     for index, doc in enumerate(docs)
                 ]
+                if heartbeat is not None:
+                    for future in futures:
+                        future.add_done_callback(heartbeat.shard_done)
                 results = [f.result() for f in futures]
         wall = time.perf_counter() - start  # repro: allow(wall-clock) host benchmark timing
     finally:
+        if heartbeat is not None:
+            heartbeat.stop()
         if was_enabled:
             gc.enable()
             gc.collect()
@@ -443,6 +577,7 @@ def run_sharded(
         for key in sorted(shard_extra):
             extra[key] = extra.get(key, 0.0) + shard_extra[key]
     metrics = merge_metrics(results) if with_metrics else None
+    timeline = merge_timelines(results) if timeline_interval is not None else None
     return ShardRun(
         scenario=plan.scenario,
         n_shards=n,
@@ -455,4 +590,5 @@ def run_sharded(
         extra=extra,
         lookahead_ns=plan.lookahead_ns,
         metrics=metrics,
+        timeline=timeline,
     )

@@ -126,6 +126,12 @@ class Simulator(Instrumented):
     #: a bucketed calendar queue (O(1)-ish hold/pop under heavy load).
     CALENDAR_THRESHOLD = 4096
 
+    #: Optional :class:`repro.obs.timeline.TimelineSampler`; when
+    #: attached, window rolls piggyback on clock advances. Never
+    #: scheduled as an event, so ``events_executed``/``now`` — and run
+    #: fingerprints — are identical with or without it.
+    timeline = None
+
     def __init__(self, slowpath: Optional[bool] = None) -> None:
         self.now: float = 0.0
         self._heap: list = []
@@ -247,6 +253,9 @@ class Simulator(Instrumented):
                 break
             heapq.heappop(heap)
             self.now = when
+            tl = self.timeline
+            if tl is not None and when >= tl.next_ns:
+                tl.roll(when)
             self.events_executed += 1
             executed += 1
             if rec[2] == _STEP:
@@ -311,6 +320,9 @@ class Simulator(Instrumented):
                     self.now = until
                     break
                 self.now = when
+                tl = self.timeline
+                if tl is not None and when >= tl.next_ns:
+                    tl.roll(when)
                 # ---- cohort at `when`: dispatch rec and every queued
                 # same-timestamp successor without re-checking `until`
                 # or rewriting the clock.

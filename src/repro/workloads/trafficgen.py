@@ -116,6 +116,11 @@ class LoopbackApp(Instrumented):
     #: single-box runs pay zero extra cost.
     route = None
 
+    #: Optional :class:`repro.obs.timeline.TimelineSampler`; the app
+    #: feeds post-warmup latencies into its ``latency_ns`` windowed
+    #: series. Class-level None: detached runs pay one load + branch.
+    timeline = None
+
     def __init__(
         self,
         driver,
@@ -220,6 +225,12 @@ class LoopbackApp(Instrumented):
         drv_housekeeping = driver.housekeeping
         record_latency = result.latency.record
         route = self.route
+        timeline = self.timeline
+        sample_latency = None
+        if timeline is not None:
+            # The open-window list is identity-stable across window
+            # closes, so hoisting its append out of the loop is safe.
+            sample_latency = timeline.hist("latency_ns").append
 
         # Every offered packet eventually resolves to received or
         # dropped, so the loop terminates even when faults lose packets.
@@ -305,6 +316,8 @@ class LoopbackApp(Instrumented):
                     bufs_to_free.append(buf)
                     if result.received > warmup:
                         record_latency(pkt.latency_ns)
+                        if sample_latency is not None:
+                            sample_latency(pkt.latency_ns)
                         if result._measured == 0:
                             result.window_start_ns = now + ns
                         result._measured += 1
@@ -370,6 +383,7 @@ def run_loopback(
     recovery: Optional[RecoveryPolicy] = None,
     flight=None,
     route=None,
+    timeline=None,
 ) -> LoopbackResult:
     """Convenience wrapper: spawn one app on a started interface and run."""
     app = LoopbackApp(
@@ -390,6 +404,8 @@ def run_loopback(
         app.flight = flight
     if route is not None:
         app.route = route
+    if timeline is not None:
+        app.timeline = timeline
     system.sim.spawn(app.run(), name="loopback-app")
     system.sim.run(until=max_sim_ns, stop_when=lambda: app.done)
     return app.result
