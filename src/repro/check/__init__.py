@@ -1,6 +1,7 @@
-"""Protocol sanitizer and determinism lint suite (``repro.check``).
+"""Protocol sanitizer, determinism lint, and model-checking suite
+(``repro.check``).
 
-Two heads, one contract — catch protocol and reproducibility bugs that
+Four heads, one contract — catch protocol and reproducibility bugs that
 timing-level tests can miss:
 
 * :class:`Sanitizer` — a runtime happens-before checker over the
@@ -14,13 +15,34 @@ timing-level tests can miss:
   tree enforcing the determinism contracts the simulator rests on: no
   wall-clock or unseeded randomness, fast-path/reference twins with a
   fingerprint test, zero-cost-detached hook guards, no ``id()``-keyed
-  iteration, and the ``repro.errors`` exception taxonomy. Inline
+  iteration, the ``repro.errors`` exception taxonomy, no additive
+  time/size unit mixing, and no stale waivers. Inline
   ``# repro: allow(<rule>)`` waivers are counted, never silent.
+* :func:`check_model` — a small-scope exhaustive model checker that
+  drives the real coherence fabric through every short op sequence over
+  a few agents and lines, checking each observed transition, cost, and
+  counter delta against the declarative MESIF spec in ``TRANSITIONS``
+  (plus SWMR, stale-read, and fast/slow twin-equivalence invariants),
+  with shrunk replayable counterexamples and a transition-coverage
+  table. ``MUTATIONS`` holds seeded protocol bugs for checking the
+  checker.
+* :func:`check_explore` — a bounded DFS over intra-cohort dispatch
+  orders (via the engine's ``chooser`` hook) on small registered
+  scenarios, with partial-order pruning on disjoint footprints,
+  asserting merged-fingerprint stability and sanitizer cleanliness
+  across every explored schedule.
 
-Surface through the CLI: ``python -m repro check`` (lint) and
-``--sanitize`` / ``--sanitize=strict`` on loopback/kv/rpc runs.
+Surface through the CLI: ``python -m repro check`` (lint),
+``check --model`` / ``--mutate`` / ``--explore``, and ``--sanitize`` /
+``--sanitize=strict`` on loopback/kv/rpc runs.
 """
 
+from repro.check.explore import (
+    check_explore,
+    explore_plans,
+    format_explore_summary,
+    replay_schedule,
+)
 from repro.check.hb import HBTracker, VectorClock
 from repro.check.lint import (
     LintFinding,
@@ -30,9 +52,18 @@ from repro.check.lint import (
     lint_source,
     run_lint,
 )
+from repro.check.model import (
+    MUTATIONS,
+    TRANSITIONS,
+    ModelScope,
+    check_model,
+    format_model_summary,
+    raise_on_failure,
+    replay_counterexample,
+)
 from repro.check.rules import LintRule, default_rules
 from repro.check.sanitizer import METADATA_CLASSES, Sanitizer, Violation
-from repro.obs.export import LINT_SCHEMA, SANITIZE_SCHEMA
+from repro.obs.export import LINT_SCHEMA, MODEL_SCHEMA, SANITIZE_SCHEMA
 
 __all__ = [
     "HBTracker",
@@ -41,13 +72,25 @@ __all__ = [
     "LintReport",
     "LintRule",
     "METADATA_CLASSES",
+    "MODEL_SCHEMA",
+    "MUTATIONS",
+    "ModelScope",
     "SANITIZE_SCHEMA",
     "Sanitizer",
+    "TRANSITIONS",
     "VectorClock",
     "Violation",
+    "check_explore",
+    "check_model",
     "default_rules",
+    "explore_plans",
+    "format_explore_summary",
     "format_lint_findings",
     "format_lint_summary",
+    "format_model_summary",
     "lint_source",
+    "raise_on_failure",
+    "replay_counterexample",
+    "replay_schedule",
     "run_lint",
 ]

@@ -19,20 +19,19 @@ from __future__ import annotations
 
 import ast
 import os
-import re
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from repro.check.rules import (
+    WAIVER_RE,
     ErrorTaxonomyRule,
     FastpathTwinRule,
     LintRule,
+    StaleWaiverRule,
     default_rules,
 )
 from repro.errors import LintError
 from repro.obs.export import LINT_SCHEMA
-
-WAIVER_RE = re.compile(r"#\s*repro:\s*allow\(([a-z0-9_\-, ]+)\)")
 
 
 @dataclass
@@ -118,9 +117,23 @@ def lint_source(
     except SyntaxError as exc:
         raise LintError(f"cannot parse {path}: {exc}") from exc
     waivers = _waived_rules(source)
+    rules = list(rules)
     findings: List[LintFinding] = []
     for rule in rules:
         for line, col, message in rule.check(tree, path, source):
+            waived = rule.name in waivers.get(line, ())
+            findings.append(
+                LintFinding(rule.name, path, line, col, message, waived=waived)
+            )
+    # Stale-waiver analysis runs last: it audits the waiver comments
+    # against the findings every other rule just produced.
+    known_rules = frozenset(rule.name for rule in rules)
+    for rule in rules:
+        if not isinstance(rule, StaleWaiverRule):
+            continue
+        for line, col, message in rule.check_waivers(
+            path, source, findings, known_rules
+        ):
             waived = rule.name in waivers.get(line, ())
             findings.append(
                 LintFinding(rule.name, path, line, col, message, waived=waived)

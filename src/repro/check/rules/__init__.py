@@ -11,12 +11,15 @@ any tree the :mod:`ast` module can parse.
 from __future__ import annotations
 
 import ast
+import io
+import re
+import tokenize
 from typing import Iterator, Set, Tuple
 
 Finding = Tuple[int, int, str]
 
 #: Zero-cost-detached hook attributes (class-level ``None`` idiom).
-HOOK_ATTRS = frozenset({"flight", "faults", "sanitizer", "timeline"})
+HOOK_ATTRS = frozenset({"flight", "faults", "sanitizer", "timeline", "chooser"})
 
 #: Builtin exceptions allowed alongside the repro taxonomy: control-flow
 #: and protocol exceptions that are not error reports.
@@ -32,6 +35,10 @@ _BANNED_TIME_FNS = frozenset(
 )
 
 _BANNED_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+
+#: Waiver comment grammar (a ``repro: allow(...)`` clause after a hash).
+#: Shared with the linter driver so the grammar has one definition.
+WAIVER_RE = re.compile(r"#\s*repro:\s*allow\(([a-z0-9_\-, ]+)\)")
 
 
 class LintRule:
@@ -515,6 +522,110 @@ class ErrorTaxonomyRule(LintRule):
                 )
 
 
+class UnitsMixingRule(LintRule):
+    """No additive arithmetic across time and size quantities.
+
+    Adding or subtracting a ``*_ns`` value and a ``*_bytes`` / ``*_gbps``
+    value is dimensionally meaningless — the classic latency-plus-length
+    bug. Multiplication and division are how units legitimately convert
+    (``bytes / bytes_per_ns``), so only ``+`` and ``-`` are checked; call
+    results (e.g. a ``repro.units`` conversion helper) carry no suffix
+    and therefore never trip the rule.
+    """
+
+    name = "units-mixing"
+    description = "additive arithmetic mixing _ns with _bytes/_gbps values"
+
+    _TIME_SUFFIXES = ("_ns",)
+    _SIZE_SUFFIXES = ("_bytes", "_gbps")
+
+    @classmethod
+    def _operand(cls, expr):
+        """(unit kind, identifier) for a suffixed operand, else None."""
+        if isinstance(expr, ast.Name):
+            ident = expr.id
+        elif isinstance(expr, ast.Attribute):
+            ident = expr.attr
+        else:
+            return None
+        if ident.endswith(cls._TIME_SUFFIXES):
+            return ("time", ident)
+        if ident.endswith(cls._SIZE_SUFFIXES):
+            return ("size", ident)
+        return None
+
+    def check(self, tree, path, source):
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if not isinstance(node.op, (ast.Add, ast.Sub)):
+                continue
+            left = self._operand(node.left)
+            right = self._operand(node.right)
+            if left is None or right is None or left[0] == right[0]:
+                continue
+            op = "+" if isinstance(node.op, ast.Add) else "-"
+            yield (
+                node.lineno, node.col_offset,
+                f"'{left[1]} {op} {right[1]}' mixes a time (_ns) with a "
+                "size (_bytes/_gbps) quantity; convert explicitly first",
+            )
+
+
+class StaleWaiverRule(LintRule):
+    """Every ``# repro: allow(rule)`` waiver must still earn its keep.
+
+    A waiver whose line (or the line below, for waivers placed above the
+    statement they excuse) produces no finding for the named rule is
+    stale: the code was fixed or the rule evolved, and the comment now
+    only hides future regressions. Unknown rule names are flagged too.
+    Only real comment tokens are inspected, so waiver text quoted in
+    docstrings or string literals never counts.
+    """
+
+    name = "stale-waiver"
+    description = "waiver comment that no longer suppresses any finding"
+
+    def check(self, tree, path, source):
+        # The per-file analysis lives in check_waivers, which needs the
+        # other rules' findings; the linter driver calls it after they
+        # have all run over the file.
+        return iter(())
+
+    def check_waivers(self, path, source, findings, known_rules):
+        rules_by_line = {}
+        for finding in findings:
+            rules_by_line.setdefault(finding.line, set()).add(finding.rule)
+        try:
+            comments = [
+                tok
+                for tok in tokenize.generate_tokens(io.StringIO(source).readline)
+                if tok.type == tokenize.COMMENT
+            ]
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return
+        for tok in comments:
+            match = WAIVER_RE.search(tok.string)
+            if match is None:
+                continue
+            line, col = tok.start
+            for rule in match.group(1).replace(",", " ").split():
+                if rule == self.name:
+                    continue
+                if rule not in known_rules:
+                    yield (line, col, f"waiver names unknown rule {rule!r}")
+                    continue
+                covered = rules_by_line.get(line, set()) | rules_by_line.get(
+                    line + 1, set()
+                )
+                if rule not in covered:
+                    yield (
+                        line, col,
+                        f"stale waiver: no {rule!r} finding on this line "
+                        "or the next",
+                    )
+
+
 def default_rules(taxonomy=frozenset()):
     """The standard rule set, in report order."""
     return [
@@ -523,4 +634,6 @@ def default_rules(taxonomy=frozenset()):
         HookGuardRule(),
         IdKeyRule(),
         ErrorTaxonomyRule(taxonomy=taxonomy),
+        UnitsMixingRule(),
+        StaleWaiverRule(),
     ]

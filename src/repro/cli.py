@@ -1211,6 +1211,62 @@ def cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check_model(args: argparse.Namespace) -> int:
+    from repro.check import (
+        MUTATIONS,
+        check_model,
+        format_model_summary,
+        replay_counterexample,
+    )
+    from repro.errors import ModelCheckError
+    from repro.obs.export import export_model_json
+
+    if args.mutate is not None and args.mutate not in MUTATIONS:
+        known = ", ".join(sorted(MUTATIONS))
+        print(f"unknown mutation {args.mutate!r} (known: {known})")
+        return 2
+    _check_writable(args.model_out)
+    report = check_model(mutation=args.mutate)
+    print(format_model_summary(report))
+    if args.model_out:
+        export_model_json(report, args.model_out)
+        print(f"wrote model report to {args.model_out}")
+    if args.mutate is None:
+        return 0 if report["ok"] else 1
+    # A mutation run passes iff the checker caught the seeded bug and
+    # the shrunk counterexample still reproduces on replay.
+    if not report["counterexamples"]:
+        print(f"mutation {args.mutate!r} NOT caught by the model checker")
+        return 1
+    try:
+        violation = replay_counterexample(report, 0)
+    except ModelCheckError as exc:
+        print(f"counterexample did not replay: {exc}")
+        return 1
+    print(
+        f"mutation {args.mutate!r} caught: {violation['invariant']} "
+        "counterexample reproduces on replay"
+    )
+    return 0
+
+
+def _cmd_check_explore(args: argparse.Namespace) -> int:
+    from repro.check import check_explore, format_explore_summary
+
+    kwargs = {}
+    if args.explore_scenario:
+        kwargs["scenarios"] = tuple(args.explore_scenario)
+    if args.explore_ops is not None:
+        kwargs["ops"] = args.explore_ops
+    if args.explore_deviations is not None:
+        kwargs["max_deviations"] = args.explore_deviations
+    if args.explore_max_schedules is not None:
+        kwargs["max_schedules"] = args.explore_max_schedules
+    report = check_explore(**kwargs)
+    print(format_explore_summary(report))
+    return 0 if report["ok"] else 1
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     import repro
     from repro.check import (
@@ -1219,6 +1275,17 @@ def cmd_check(args: argparse.Namespace) -> int:
         run_lint,
     )
     from repro.obs.export import export_lint_json
+
+    status = 0
+    ran_subcheck = False
+    if args.model or args.mutate is not None:
+        status = max(status, _cmd_check_model(args))
+        ran_subcheck = True
+    if args.explore:
+        status = max(status, _cmd_check_explore(args))
+        ran_subcheck = True
+    if ran_subcheck:
+        return status
 
     root = args.root or os.path.dirname(os.path.abspath(repro.__file__))
     tests_root = args.tests
@@ -1394,7 +1461,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_heartbeat_arg(tm)
     tm.set_defaults(func=cmd_timeline)
 
-    ck = sub.add_parser("check", help="static determinism/protocol lint")
+    ck = sub.add_parser(
+        "check", help="static lint, protocol model check, schedule explore"
+    )
     ck.add_argument("--root", default=None, metavar="DIR",
                     help="package root to lint (default: installed repro)")
     ck.add_argument("--tests", default=None, metavar="DIR",
@@ -1403,6 +1472,29 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write the lint report (JSON, repro.check/lint-v1)")
     ck.add_argument("--limit", type=int, default=50, metavar="N",
                     help="max findings rows to print (default 50)")
+    ck.add_argument("--model", action="store_true",
+                    help="run the small-scope protocol model checker")
+    ck.add_argument("--model-out", default=None, metavar="FILE",
+                    help="write the model report (JSON, repro.check/model-v1)")
+    ck.add_argument("--mutate", default=None, metavar="NAME",
+                    help="run the model checker against a seeded protocol "
+                         "mutation; passes iff a counterexample is found "
+                         "and replays (see repro.check.MUTATIONS)")
+    ck.add_argument("--explore", action="store_true",
+                    help="explore intra-cohort dispatch schedules on small "
+                         "scenarios and check fingerprint stability")
+    ck.add_argument("--explore-scenario", action="append", default=None,
+                    metavar="NAME",
+                    help="scenario to explore (repeatable; default "
+                         "loopback_64b and kv_zipf)")
+    ck.add_argument("--explore-ops", type=int, default=None, metavar="N",
+                    help="operations per explored scenario run")
+    ck.add_argument("--explore-deviations", type=int, default=None,
+                    metavar="N",
+                    help="max deviations from the canonical schedule")
+    ck.add_argument("--explore-max-schedules", type=int, default=None,
+                    metavar="N",
+                    help="cap on explored schedules per scenario")
     ck.set_defaults(func=cmd_check)
 
     t1 = sub.add_parser("table1", help="interconnect bandwidth table")

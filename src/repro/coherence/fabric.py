@@ -229,15 +229,32 @@ class CoherenceFabric(Instrumented):
         self._fastpath = False
         self.invalidate_plans()
 
+    def _reference_clients(self) -> tuple:
+        """Every attached hook client that requires the reference path.
+
+        The single source of truth for path restoration: ``detach_*``
+        restores the fast path only when *all* of these are detached.
+        The timeline sampler is deliberately absent — it hangs off the
+        simulator's clock advances and never forces the reference path
+        (attached runs are fingerprint-identical on either path); the
+        fault injector is also absent because :meth:`access` checks
+        ``self.faults`` per call rather than flipping ``_fastpath``.
+        """
+        return (self.flight, self.sanitizer)
+
+    def _restore_fastpath(self) -> None:
+        """Re-enable the fast path iff no reference-path client remains."""
+        if all(client is None for client in self._reference_clients()):
+            self._fastpath = not self.sim.slowpath
+
     def detach_flight(self) -> None:
         """Detach any recorder and restore the configured path choice.
 
         The fast path only returns when no other reference-path client
-        (the sanitizer) is still attached.
+        (see :meth:`_reference_clients`) is still attached.
         """
         self.flight = None
-        if self.sanitizer is None:
-            self._fastpath = not self.sim.slowpath
+        self._restore_fastpath()
         self.invalidate_plans()
 
     def attach_sanitizer(self, sanitizer) -> None:
@@ -253,11 +270,10 @@ class CoherenceFabric(Instrumented):
         self.invalidate_plans()
 
     def detach_sanitizer(self) -> None:
-        """Detach the sanitizer; restore the fast path unless the flight
-        recorder still needs the reference path."""
+        """Detach the sanitizer; restore the fast path unless another
+        reference-path client (see :meth:`_reference_clients`) remains."""
         self.sanitizer = None
-        if self.flight is None:
-            self._fastpath = not self.sim.slowpath
+        self._restore_fastpath()
         self.invalidate_plans()
 
     def _plans_live(self) -> Dict[int, tuple]:

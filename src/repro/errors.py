@@ -86,3 +86,29 @@ class SanitizerError(CheckError):
 
 class LintError(CheckError):
     """The static lint pass was misconfigured or could not run."""
+
+
+class ModelCheckError(CheckError):
+    """The protocol model checker or schedule explorer found a violation.
+
+    Raised when a small-scope enumeration of the coherence fabric (or a
+    permuted cohort schedule) breaks a checked invariant. Carries the
+    structured counterexample so handlers can replay it without parsing
+    the message:
+
+    Attributes:
+        invariant: Violated invariant id (e.g. ``swmr``, ``stale-read``,
+            ``transition-unknown``, ``cost-mismatch``, ``twin-diverged``,
+            ``fingerprint-diverged``).
+        sequence: The op sequence (or schedule plan) that reproduces the
+            violation, as a tuple of JSON-safe steps.
+        step: Index into ``sequence`` of the violating step, when known.
+        detail: Free-form structured context (expected/observed values).
+    """
+
+    def __init__(self, message, invariant=None, sequence=(), step=None, detail=None):
+        super().__init__(message)
+        self.invariant = invariant
+        self.sequence = tuple(sequence)
+        self.step = step
+        self.detail = dict(detail or {})

@@ -26,6 +26,8 @@ TOPOLOGY_SCHEMA = "repro.topology/stats-v1"
 
 TIMELINE_SCHEMA = "repro.obs/timeline-v1"
 
+MODEL_SCHEMA = "repro.check/model-v1"
+
 
 def metrics_rows(registry) -> List[Tuple[str, str, float]]:
     """Flatten a registry snapshot into sorted (component, metric, value) rows."""
@@ -171,6 +173,16 @@ def export_timeline_json(report: Dict[str, Any], path: str) -> Dict[str, Any]:
 def load_timeline_json(path: str) -> Dict[str, Any]:
     """Read a timeline document back; rejects foreign schemas."""
     return _load_stamped_json(path, TIMELINE_SCHEMA, "timeline")
+
+
+def export_model_json(report: Dict[str, Any], path: str) -> Dict[str, Any]:
+    """Write a model-checker report (from ``check_model``) as JSON."""
+    return _export_stamped_json(report, path, MODEL_SCHEMA, "model-check")
+
+
+def load_model_json(path: str) -> Dict[str, Any]:
+    """Read a model-checker report back; rejects foreign schemas."""
+    return _load_stamped_json(path, MODEL_SCHEMA, "model-check")
 
 
 def export_lint_json(report: Dict[str, Any], path: str) -> Dict[str, Any]:

@@ -168,7 +168,9 @@ def _finish_timeline(sampler, result, system) -> None:
     result["timeline"] = sampler.to_doc(include_samples=True)
 
 
-def _execute_loopback(spec: ScenarioSpec, quick: bool, obs, timeline_interval) -> Dict:
+def _execute_loopback(
+    spec: ScenarioSpec, quick: bool, obs, timeline_interval, attach=None
+) -> Dict:
     faults = _make_faults(spec)
     setup = build_interface(
         _platform_spec(spec.platform),
@@ -183,6 +185,8 @@ def _execute_loopback(spec: ScenarioSpec, quick: bool, obs, timeline_interval) -
         host, tor = _topology_endpoints(spec, net)
         route = _loopback_route(net, host, tor)
     sampler = _make_timeline(timeline_interval, setup, net)
+    if attach is not None:
+        attach(setup)
     start = time.perf_counter()  # repro: allow(wall-clock) host benchmark timing
     result = run_point(
         setup,
@@ -222,7 +226,9 @@ def _execute_loopback(spec: ScenarioSpec, quick: bool, obs, timeline_interval) -
     return doc
 
 
-def _execute_kv(spec: ScenarioSpec, quick: bool, obs, timeline_interval) -> Dict:
+def _execute_kv(
+    spec: ScenarioSpec, quick: bool, obs, timeline_interval, attach=None
+) -> Dict:
     from repro.apps.kvstore import KvServerApp, KvWorkload
 
     faults = _make_faults(spec)
@@ -267,6 +273,8 @@ def _execute_kv(spec: ScenarioSpec, quick: bool, obs, timeline_interval) -> Dict
     sampler = _make_timeline(timeline_interval, setup, net)
     if sampler is not None:
         app.timeline = sampler
+    if attach is not None:
+        attach(setup)
     start = time.perf_counter()  # repro: allow(wall-clock) host benchmark timing
     result = app.run()
     wall = time.perf_counter() - start  # repro: allow(wall-clock) host benchmark timing
@@ -316,8 +324,16 @@ def execute_spec(
     quick: bool = False,
     with_metrics: bool = False,
     timeline_interval: Optional[float] = None,
+    attach: Optional[Callable] = None,
 ) -> Dict:
     """Run one spec in this process; returns the shard-result dict.
+
+    ``attach`` is called with the built interface setup after every
+    observer (topology, timeline) is wired but before the workload
+    runs; ``repro.check`` uses it to hang a sanitizer or flight
+    recorder off the fabric of a scenario run it does not otherwise
+    control. In-process callers only — the hook does not cross the
+    ``run_shard`` pickle boundary.
 
     ``with_metrics`` wires a fresh :class:`~repro.obs.MetricRegistry`
     into the run and attaches its snapshot under ``"metrics"`` (merged
@@ -348,9 +364,9 @@ def execute_spec(
         gc.disable()
     try:
         if spec.workload == "kv":
-            result = _execute_kv(spec, quick, obs, timeline_interval)
+            result = _execute_kv(spec, quick, obs, timeline_interval, attach)
         else:
-            result = _execute_loopback(spec, quick, obs, timeline_interval)
+            result = _execute_loopback(spec, quick, obs, timeline_interval, attach)
     finally:
         if was_enabled:
             gc.enable()

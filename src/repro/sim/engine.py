@@ -79,11 +79,23 @@ class Process:
             fallback counter: pids are a per-simulator namespace, and a
             shared class-level counter would leak spawn history between
             simulators living in one interpreter.
+        footprint: Optional frozenset of opaque tokens naming the state
+            this process touches. Two same-timestamp steps whose
+            footprints are disjoint commute, which lets the cohort
+            explorer (:mod:`repro.check.explore`) prune redundant
+            dispatch orders. ``None`` (the default) means "unknown" and
+            is never treated as disjoint from anything.
     """
 
-    __slots__ = ("body", "name", "done", "pid")
+    __slots__ = ("body", "name", "done", "pid", "footprint")
 
-    def __init__(self, body: ProcessBody, name: str, pid: Optional[int] = None):
+    def __init__(
+        self,
+        body: ProcessBody,
+        name: str,
+        pid: Optional[int] = None,
+        footprint: Optional[frozenset] = None,
+    ):
         if not hasattr(body, "send"):
             raise SimulationError(
                 f"process {name!r} must be a generator, got {type(body).__name__}"
@@ -97,6 +109,7 @@ class Process:
         self.name = name
         self.done = False
         self.pid = pid
+        self.footprint = None if footprint is None else frozenset(footprint)
 
     def stop(self) -> None:
         """Prevent any further steps of this process."""
@@ -131,6 +144,16 @@ class Simulator(Instrumented):
     #: scheduled as an event, so ``events_executed``/``now`` — and run
     #: fingerprints — are identical with or without it.
     timeline = None
+
+    #: Optional cohort-dispatch chooser ``(when, records) -> index``,
+    #: used by :mod:`repro.check.explore` to permute intra-cohort
+    #: dispatch order. Class-level ``None`` so unexplored runs pay one
+    #: attribute load in :meth:`run`; attaching forces the reference
+    #: loop (the fast loop's cohort draining assumes seq order). The
+    #: ``records`` argument is the seq-ordered list of every pending
+    #: ``[when, seq, kind, payload]`` record tied at ``when``; returning
+    #: ``0`` everywhere reproduces the canonical schedule exactly.
+    chooser = None
 
     def __init__(self, slowpath: Optional[bool] = None) -> None:
         self.now: float = 0.0
@@ -167,10 +190,20 @@ class Simulator(Instrumented):
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def spawn(self, body: ProcessBody, name: str = "proc", delay: float = 0.0) -> Process:
-        """Register a generator as a process; first step runs after ``delay``."""
+    def spawn(
+        self,
+        body: ProcessBody,
+        name: str = "proc",
+        delay: float = 0.0,
+        footprint: Optional[frozenset] = None,
+    ) -> Process:
+        """Register a generator as a process; first step runs after ``delay``.
+
+        ``footprint`` optionally names the state the process touches
+        (see :class:`Process`); it only matters to the cohort explorer.
+        """
         self._pid_counter += 1
-        proc = Process(body, name, pid=self._pid_counter)
+        proc = Process(body, name, pid=self._pid_counter, footprint=footprint)
         self._processes.append(proc)
         self._schedule(self.now + delay, _STEP, proc)
         return proc
@@ -196,7 +229,11 @@ class Simulator(Instrumented):
             return
         heap = self._heap
         heapq.heappush(heap, rec)
-        if len(heap) >= self.CALENDAR_THRESHOLD and not self.slowpath:
+        if (
+            len(heap) >= self.CALENDAR_THRESHOLD
+            and not self.slowpath
+            and self.chooser is None
+        ):
             self._cal = CalendarQueue(heap)
             self._heap = []
 
@@ -232,7 +269,16 @@ class Simulator(Instrumented):
         event is counted, ``now`` is its timestamp, and ``stop_when``
         is not called for it.
         """
-        if self.slowpath:
+        if self.slowpath or self.chooser is not None:
+            if self._cal is not None:
+                # A chooser attached after the fast path migrated to the
+                # calendar queue: fold the pending set back into a heap
+                # so the reference loop sees every record.
+                cal = self._cal
+                self._cal = None
+                heap = self._heap
+                while len(cal):
+                    heapq.heappush(heap, cal.pop())
             return self._run_slow(until, max_events, stop_when)
         return self._run_fast(until, max_events, stop_when)
 
@@ -242,7 +288,15 @@ class Simulator(Instrumented):
         max_events: Optional[int],
         stop_when: Optional[Callable[[], bool]],
     ) -> float:
-        """Reference loop: one heappop + one handler call per event."""
+        """Reference loop: one heappop + one handler call per event.
+
+        With a :attr:`chooser` attached, every set of timestamp-tied
+        records becomes a *choice point*: the tied records are popped in
+        seq order, the chooser picks which one dispatches now, and the
+        rest are requeued (seq keys unchanged, so relative order among
+        the survivors is preserved). A chooser that always returns 0
+        reproduces this loop's canonical schedule event-for-event.
+        """
         executed = 0
         heap = self._heap
         while heap:
@@ -251,7 +305,25 @@ class Simulator(Instrumented):
             if until is not None and when > until:
                 self.now = until
                 break
-            heapq.heappop(heap)
+            chooser = self.chooser
+            if chooser is not None:
+                tied = []
+                while heap and heap[0][0] == when:
+                    tied.append(heapq.heappop(heap))
+                if len(tied) > 1:
+                    index = chooser(when, tied)
+                    if not isinstance(index, int) or not 0 <= index < len(tied):
+                        raise SimulationError(
+                            f"chooser returned invalid cohort index {index!r} "
+                            f"for {len(tied)} tied records at t={when}"
+                        )
+                    rec = tied.pop(index)
+                    for other in tied:
+                        self._requeue(other)
+                else:
+                    rec = tied[0]
+            else:
+                heapq.heappop(heap)
             self.now = when
             tl = self.timeline
             if tl is not None and when >= tl.next_ns:

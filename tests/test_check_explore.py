@@ -1,0 +1,255 @@
+"""Cohort-schedule explorer: DFS mechanics, pruning, real-run stability.
+
+``explore_plans`` is exercised both synthetically (toy run_schedule
+callables that fake choice points, to pin the DFS / partial-order /
+truncation mechanics) and against a real racy :class:`Simulator` whose
+outcome genuinely depends on intra-cohort dispatch order — proving the
+chooser hook surfaces real schedule sensitivity. ``check_explore``
+then runs the registered scenarios at a small scope and must find one
+fingerprint across every non-bootstrap schedule, sanitizer-clean.
+"""
+
+import pytest
+
+from repro.check import check_explore, explore_plans, replay_schedule
+from repro.check.explore import _PlanChooser, _scoped_spec
+from repro.errors import ConfigError
+from repro.obs.export import MODEL_SCHEMA
+from repro.shard.merge import fingerprint, merge_results
+from repro.shard.runner import execute_spec, lookahead_ns
+from repro.shard.spec import scenario
+from repro.sim.engine import Simulator
+
+
+def _point(size, when=1.0, footprints=None):
+    return {
+        "when": when,
+        "size": size,
+        "bootstrap": when == 0.0,
+        "footprints": footprints or [None] * size,
+    }
+
+
+class TestExplorePlans:
+    def test_canonical_first_then_single_deviations(self):
+        points = [_point(3), _point(2)]
+        runs = []
+
+        def run_schedule(plan):
+            runs.append(dict(plan))
+            return {"order": sorted(plan.items())}, points
+
+        schedules, pruned, truncated = explore_plans(run_schedule)
+        assert runs[0] == {}
+        assert schedules[0]["plan"] == {}
+        plans = [s["plan"] for s in schedules[1:]]
+        # One deviation allowed: every non-canonical index at each point.
+        assert {tuple(sorted(p.items())) for p in plans} == {
+            ((0, 1),), ((0, 2),), ((1, 1),),
+        }
+        assert pruned == 0
+        assert not truncated
+
+    def test_bootstrap_cohorts_are_marked(self):
+        points = [_point(2, when=0.0), _point(2, when=5.0)]
+
+        def run_schedule(plan):
+            return {}, points
+
+        schedules, _pruned, _truncated = explore_plans(run_schedule)
+        by_plan = {
+            tuple(sorted(s["plan"].items())): s["bootstrap"] for s in schedules
+        }
+        assert by_plan[()] is False
+        assert by_plan[((0, 1),)] is True
+        assert by_plan[((1, 1),)] is False
+
+    def test_disjoint_footprints_are_pruned(self):
+        # The candidate's footprint is disjoint from everything ahead
+        # of it in the cohort, so dispatching it first provably
+        # commutes — the deviation is pruned, not executed.
+        points = [
+            _point(2, footprints=[frozenset({"a"}), frozenset({"b"})]),
+        ]
+        runs = []
+
+        def run_schedule(plan):
+            runs.append(dict(plan))
+            return {}, points
+
+        schedules, pruned, _truncated = explore_plans(run_schedule)
+        assert len(schedules) == 1
+        assert pruned == 1
+        assert runs == [{}]
+
+    def test_overlapping_footprints_are_explored(self):
+        points = [
+            _point(2, footprints=[frozenset({"a"}), frozenset({"a", "b"})]),
+        ]
+
+        def run_schedule(plan):
+            return {}, points
+
+        schedules, pruned, _truncated = explore_plans(run_schedule)
+        assert len(schedules) == 2
+        assert pruned == 0
+
+    def test_none_footprint_never_prunes(self):
+        points = [_point(2, footprints=[frozenset({"a"}), None])]
+
+        def run_schedule(plan):
+            return {}, points
+
+        schedules, pruned, _truncated = explore_plans(run_schedule)
+        assert len(schedules) == 2
+        assert pruned == 0
+
+    def test_max_schedules_truncates(self):
+        points = [_point(4), _point(4)]
+
+        def run_schedule(plan):
+            return {}, points
+
+        schedules, _pruned, truncated = explore_plans(
+            run_schedule, max_schedules=3
+        )
+        assert truncated
+        assert len(schedules) == 3
+
+    def test_deviation_budget_bounds_depth(self):
+        points = [_point(2), _point(2)]
+
+        def run_schedule(plan):
+            return {}, points
+
+        schedules, _pruned, _truncated = explore_plans(
+            run_schedule, max_deviations=2
+        )
+        plans = {tuple(sorted(s["plan"].items())) for s in schedules}
+        assert ((0, 1), (1, 1)) in plans  # two deviations reached
+        one_dev, _p, _t = explore_plans(run_schedule, max_deviations=1)
+        assert ((0, 1), (1, 1)) not in {
+            tuple(sorted(s["plan"].items())) for s in one_dev
+        }
+
+
+class TestPlanChooser:
+    def _records(self, n, when=1.0):
+        return [[when, seq, 0, None] for seq in range(n)]
+
+    def test_canonical_plan_picks_index_zero(self):
+        chooser = _PlanChooser({})
+        assert chooser(1.0, self._records(3)) == 0
+        assert chooser.points[0]["size"] == 3
+        assert chooser.points[0]["bootstrap"] is False
+
+    def test_plan_deviation_applied_at_its_ordinal(self):
+        chooser = _PlanChooser({1: 2})
+        assert chooser(1.0, self._records(3)) == 0
+        assert chooser(2.0, self._records(3)) == 2
+
+    def test_out_of_range_choice_degrades_to_canonical(self):
+        # A plan recorded against a larger cohort must not crash a
+        # replay where the cohort shrank; it degrades to index 0.
+        chooser = _PlanChooser({0: 5})
+        assert chooser(1.0, self._records(2)) == 0
+
+    def test_bootstrap_flagged_at_time_zero(self):
+        chooser = _PlanChooser({})
+        chooser(0.0, self._records(2))
+        assert chooser.points[0]["bootstrap"] is True
+
+
+class TestRacySimulatorDivergence:
+    """A genuinely order-sensitive sim diverges under deviated plans."""
+
+    def _run_schedule(self, plan):
+        order = []
+        sim = Simulator()
+        for name in ("alpha", "beta", "gamma"):
+            sim.spawn(
+                self._body(order, name),
+                name=name,
+                delay=1.0,
+                footprint=frozenset({"shared"}),
+            )
+        chooser = _PlanChooser(plan)
+        previous = Simulator.chooser
+        Simulator.chooser = chooser
+        try:
+            sim.run()
+        finally:
+            Simulator.chooser = previous
+        return {"fingerprint": "/".join(order)}, chooser.points
+
+    @staticmethod
+    def _body(order, name):
+        order.append(name)
+        return
+        yield  # pragma: no cover - makes this a generator function
+
+    def test_deviated_schedules_expose_the_race(self):
+        schedules, pruned, truncated = explore_plans(self._run_schedule)
+        assert not truncated
+        assert pruned == 0  # identical footprints never commute
+        fingerprints = {s["outcome"]["fingerprint"] for s in schedules}
+        canonical = schedules[0]["outcome"]["fingerprint"]
+        assert canonical == "alpha/beta/gamma"
+        assert len(fingerprints) > 1
+        # Deviations happen at t=1.0, so none of this is bootstrap.
+        assert all(s["bootstrap"] is False for s in schedules[1:])
+
+
+class TestCheckExplore:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return check_explore(ops=24)
+
+    def test_default_scope_is_stable_and_clean(self, report):
+        assert report["ok"]
+        assert report["counterexamples"] == []
+        for entry in report["scenarios"]:
+            assert entry["fingerprints"] == [entry["canonical_fingerprint"]]
+            assert not entry["truncated"]
+            assert entry["choice_points"] >= 1
+
+    def test_bootstrap_divergence_is_informational(self, report):
+        # The only ties in these scenarios are the t=0 first-step
+        # cohorts; permuting them changes results (documented scope
+        # bound) but is reported, not failed.
+        assert any(e["bootstrap_divergent"] > 0 for e in report["scenarios"])
+        assert report["ok"]
+
+    def test_schema_and_scope_recorded(self, report):
+        assert report["schema"] == MODEL_SCHEMA
+        assert report["kind"] == "explore"
+        assert report["scope"]["ops"] == 24
+        assert report["scope"]["sanitize"] is True
+        assert {e["scenario"] for e in report["scenarios"]} == {
+            "loopback_64b", "kv_zipf",
+        }
+
+    def test_canonical_schedule_matches_bare_run(self, report):
+        # Driving the engine through the chooser with an empty plan
+        # must be observationally identical to no chooser at all.
+        spec = _scoped_spec(scenario("loopback_64b"), 24)
+        result = execute_spec(spec)
+        merged = merge_results(
+            [dict(result, index=0)], spec.name, lookahead_ns(spec)
+        )
+        entry = next(
+            e for e in report["scenarios"] if e["scenario"] == "loopback_64b"
+        )
+        assert fingerprint(merged) == entry["canonical_fingerprint"]
+
+    def test_ops_validated(self):
+        with pytest.raises(ConfigError):
+            check_explore(ops=0)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigError):
+            check_explore(scenarios=("no-such-scenario",), ops=4)
+
+    def test_replay_index_without_counterexamples(self, report):
+        with pytest.raises(ConfigError):
+            replay_schedule(report, 0)

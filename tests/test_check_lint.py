@@ -17,6 +17,7 @@ from repro.check.rules import (
     FastpathTwinRule,
     HookGuardRule,
     IdKeyRule,
+    UnitsMixingRule,
     WallClockRule,
     default_rules,
 )
@@ -321,6 +322,137 @@ class TestErrorTaxonomyRule:
         assert findings == []
 
 
+class TestUnitsMixingRule:
+    def test_additive_time_size_mix_flagged(self):
+        findings = _lint(
+            """
+            def f(latency_ns, size_bytes):
+                return latency_ns + size_bytes
+            """,
+            [UnitsMixingRule()],
+        )
+        assert _rules_of(findings) == ["units-mixing"]
+        assert "latency_ns + size_bytes" in findings[0].message
+
+    def test_subtraction_and_attributes_flagged(self):
+        findings = _lint(
+            """
+            def f(self):
+                return self.window_bytes - self.deadline_ns
+            """,
+            [UnitsMixingRule()],
+        )
+        assert _rules_of(findings) == ["units-mixing"]
+
+    def test_gbps_counts_as_size_kind(self):
+        findings = _lint(
+            """
+            def f(rate_gbps, delay_ns):
+                return rate_gbps + delay_ns
+            """,
+            [UnitsMixingRule()],
+        )
+        assert _rules_of(findings) == ["units-mixing"]
+
+    def test_same_kind_addition_allowed(self):
+        findings = _lint(
+            """
+            def f(a_ns, b_ns, x_bytes, y_bytes):
+                return (a_ns + b_ns, x_bytes - y_bytes)
+            """,
+            [UnitsMixingRule()],
+        )
+        assert findings == []
+
+    def test_multiplicative_conversion_allowed(self):
+        # Multiplication/division is how units legitimately convert.
+        findings = _lint(
+            """
+            def f(size_bytes, rate_bytes_per_ns, base_ns):
+                return base_ns + size_bytes / rate_bytes_per_ns
+            """,
+            [UnitsMixingRule()],
+        )
+        assert findings == []
+
+    def test_conversion_helper_call_allowed(self):
+        # A call result carries no suffix, so converting through a
+        # repro.units helper never trips the rule.
+        findings = _lint(
+            """
+            from repro.units import gbps_to_bytes_per_ns
+
+            def f(base_ns, rate_gbps):
+                return base_ns + gbps_to_bytes_per_ns(rate_gbps)
+            """,
+            [UnitsMixingRule()],
+        )
+        assert findings == []
+
+
+class TestStaleWaiverRule:
+    def test_stale_waiver_flagged(self):
+        findings = _lint(
+            "x = 1  # repro: allow(wall-clock) nothing here\n",
+            default_rules(),
+        )
+        assert _rules_of(findings) == ["stale-waiver"]
+        assert "stale waiver" in findings[0].message
+
+    def test_active_waiver_not_flagged(self):
+        findings = _lint(
+            """
+            import time
+
+            def f():
+                return time.time()  # repro: allow(wall-clock) host time
+            """,
+            default_rules(),
+        )
+        assert _rules_of(findings) == ["wall-clock"]
+        assert findings[0].waived
+
+    def test_waiver_above_finding_line_counts_as_used(self):
+        findings = _lint(
+            """
+            import time
+
+            def f():
+                # repro: allow(wall-clock) host time
+                return time.time()
+            """,
+            default_rules(),
+        )
+        assert _rules_of(findings) == ["wall-clock"]
+
+    def test_docstring_waiver_text_ignored(self):
+        # Waiver syntax quoted in a docstring is not a comment token.
+        findings = _lint(
+            '''
+            """Example: # repro: allow(wall-clock) in docs."""
+            x = 1
+            ''',
+            default_rules(),
+        )
+        assert findings == []
+
+    def test_unknown_rule_name_flagged(self):
+        findings = _lint(
+            "x = 1  # repro: allow(no-such-rule)\n",
+            default_rules(),
+        )
+        assert _rules_of(findings) == ["stale-waiver"]
+        assert "unknown rule" in findings[0].message
+
+    def test_stale_waiver_finding_itself_waivable(self):
+        findings = _lint(
+            "x = 1  # repro: allow(wall-clock, stale-waiver) historic\n",
+            default_rules(),
+        )
+        assert _rules_of(findings) == ["stale-waiver"]
+        assert findings[0].waived
+
+
 class TestWaivers:
     RULES_SRC = """
         import time
@@ -392,7 +524,7 @@ class TestSelfHost:
 
 
 class TestDefaultRules:
-    def test_all_five_rules_present(self):
+    def test_all_rules_present(self):
         names = {rule.name for rule in default_rules(frozenset({"ReproError"}))}
         assert names == {
             "wall-clock",
@@ -400,4 +532,6 @@ class TestDefaultRules:
             "zero-cost-hooks",
             "id-keyed-iteration",
             "error-taxonomy",
+            "units-mixing",
+            "stale-waiver",
         }

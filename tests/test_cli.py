@@ -203,3 +203,38 @@ class TestShardedCli:
             unregister_scenario("cli_custom")
             sys.modules.pop("cli_custom_scn", None)
         assert "cli_custom" not in scenario_names()
+
+
+class TestCheckCommand:
+    def test_lint_self_host_clean(self, capsys):
+        assert main(["check"]) == 0
+        assert "Lint summary" in capsys.readouterr().out
+
+    def test_model_full_coverage_and_report(self, capsys, tmp_path):
+        path = str(tmp_path / "model.json")
+        assert main(["check", "--model", "--model-out", path]) == 0
+        out = capsys.readouterr().out
+        assert "RESULT: ok" in out
+        from repro.obs.export import load_model_json
+
+        report = load_model_json(path)
+        assert report["kind"] == "model"
+        assert report["coverage"]["reached"] == report["coverage"]["total"]
+
+    def test_mutation_must_be_caught(self, capsys):
+        assert main(["check", "--mutate", "skip-hitm-forward"]) == 0
+        out = capsys.readouterr().out
+        assert "caught" in out
+        assert "reproduces on replay" in out
+
+    def test_unknown_mutation_rejected(self, capsys):
+        assert main(["check", "--mutate", "grow-extra-cache"]) == 2
+        assert "unknown mutation" in capsys.readouterr().out
+
+    def test_explore_smoke(self, capsys):
+        assert main(["check", "--explore",
+                     "--explore-scenario", "loopback_64b",
+                     "--explore-ops", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "schedule exploration" in out
+        assert "RESULT: ok" in out

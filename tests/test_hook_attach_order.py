@@ -1,0 +1,126 @@
+"""Hook triple-attach discipline: flight + sanitizer + timeline.
+
+The fabric's fast path must stay disabled while *any* reference-path
+client (flight recorder, sanitizer) remains attached — ``detach_*``
+restores it only when all of ``_reference_clients()`` are gone — and
+the timeline sampler must never force the reference path at all. On
+top of the path discipline, attaching the three hooks in any order
+must leave the run fingerprint-identical to a bare run.
+"""
+
+import itertools
+
+import pytest
+
+from repro.analysis.checks import attach_sanitizer
+from repro.check.explore import _scoped_spec
+from repro.check.model import ModelScope, _World
+from repro.check.sanitizer import Sanitizer
+from repro.obs.flight import FlightRecorder
+from repro.obs.timeline import TimelineSampler, attach_timeline
+from repro.shard.merge import fingerprint, merge_results
+from repro.shard.runner import execute_spec, lookahead_ns
+from repro.shard.spec import scenario
+
+OPS = 24
+HOOKS = ("flight", "sanitizer", "timeline")
+
+
+def _fabric():
+    return _World(ModelScope(), slowpath=False).fabric
+
+
+class TestFastpathRestoreDiscipline:
+    @pytest.mark.parametrize(
+        "attach_order", list(itertools.permutations(("flight", "sanitizer")))
+    )
+    @pytest.mark.parametrize(
+        "detach_order", list(itertools.permutations(("flight", "sanitizer")))
+    )
+    def test_fastpath_returns_only_after_last_client(
+        self, attach_order, detach_order
+    ):
+        fabric = _fabric()
+        assert fabric._fastpath
+        for hook in attach_order:
+            if hook == "flight":
+                fabric.attach_flight(FlightRecorder())
+            else:
+                fabric.attach_sanitizer(Sanitizer())
+            assert not fabric._fastpath
+        first, second = detach_order
+        for hook, expect_fast in ((first, False), (second, True)):
+            if hook == "flight":
+                fabric.detach_flight()
+            else:
+                fabric.detach_sanitizer()
+            assert fabric._fastpath is expect_fast
+
+    def test_timeline_never_forces_reference_path(self):
+        world = _World(ModelScope(), slowpath=False)
+        fabric = world.fabric
+        world.sim.timeline = TimelineSampler(interval_ns=1000.0)
+        assert fabric._fastpath
+        # ... and detaching it does not prematurely restore anything.
+        fabric.attach_sanitizer(Sanitizer())
+        world.sim.timeline = None
+        assert not fabric._fastpath
+        fabric.detach_sanitizer()
+        assert fabric._fastpath
+
+    def test_slowpath_sim_never_restores_fastpath(self):
+        fabric = _World(ModelScope(), slowpath=True).fabric
+        assert not fabric._fastpath
+        fabric.attach_flight(FlightRecorder())
+        fabric.detach_flight()
+        assert not fabric._fastpath
+
+    def test_reference_clients_are_flight_and_sanitizer(self):
+        fabric = _fabric()
+        recorder, sanitizer = FlightRecorder(), Sanitizer()
+        fabric.attach_flight(recorder)
+        fabric.attach_sanitizer(sanitizer)
+        assert fabric._reference_clients() == (recorder, sanitizer)
+
+
+class TestAttachOrderFingerprints:
+    """Any attach order of the triple leaves the fingerprint unchanged."""
+
+    @staticmethod
+    def _run(order):
+        spec = _scoped_spec(scenario("loopback_64b"), OPS)
+
+        def attach(setup):
+            for hook in order:
+                if hook == "flight":
+                    setup.system.fabric.attach_flight(FlightRecorder())
+                elif hook == "sanitizer":
+                    attach_sanitizer(setup, Sanitizer())
+                else:
+                    attach_timeline(
+                        TimelineSampler(interval_ns=1000.0), setup
+                    )
+
+        result = execute_spec(spec, attach=attach if order else None)
+        merged = merge_results(
+            [dict(result, index=0)], spec.name, lookahead_ns(spec)
+        )
+        return fingerprint(merged)
+
+    @pytest.fixture(scope="class")
+    def bare_fingerprint(self):
+        return self._run(())
+
+    @pytest.mark.parametrize(
+        "order", list(itertools.permutations(HOOKS)),
+        ids=lambda order: "-".join(order),
+    )
+    def test_triple_attach_order_is_fingerprint_invariant(
+        self, order, bare_fingerprint
+    ):
+        assert self._run(order) == bare_fingerprint
+
+    @pytest.mark.parametrize("dropped", HOOKS)
+    def test_partial_attach_also_invariant(self, dropped, bare_fingerprint):
+        order = tuple(h for h in HOOKS if h != dropped)
+        assert self._run(order) == bare_fingerprint

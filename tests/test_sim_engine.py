@@ -313,3 +313,122 @@ def test_alive_processes_gauge_does_not_mutate_process_table():
     assert sim._done_count == done_before
     # The compacting accessor still works and is the mutating one.
     assert [p.name for p in sim.alive_processes()] == ["alive"]
+
+
+# ----------------------------------------------------------------------
+# Cohort-dispatch chooser hook (repro.check.explore's engine surface)
+# ----------------------------------------------------------------------
+class _Chooser:
+    """Callable object for class-level ``Simulator.chooser`` assignment.
+
+    A plain function assigned to the class attribute would be
+    descriptor-bound (``self`` prepended) on instance lookup; a callable
+    instance is looked up unchanged.
+    """
+
+    def __init__(self, pick=None):
+        self.pick = pick  # None means "last index"
+        self.calls = []
+
+    def __call__(self, when, records):
+        self.calls.append((when, len(records)))
+        return len(records) - 1 if self.pick is None else self.pick
+
+
+@pytest.fixture
+def restore_chooser():
+    previous = Simulator.chooser
+    yield
+    Simulator.chooser = previous
+
+
+def _append_proc(order, name):
+    order.append(name)
+    return
+    yield  # pragma: no cover - makes this a generator function
+
+
+class TestChooser:
+    def test_default_is_none(self):
+        assert Simulator.chooser is None
+
+    def test_chooser_called_only_for_ties(self, restore_chooser):
+        chooser = _Chooser(pick=0)
+        Simulator.chooser = chooser
+        sim = Simulator()
+        order = []
+        sim.spawn(_append_proc(order, "a"), "a", delay=1.0)
+        sim.spawn(_append_proc(order, "b"), "b", delay=1.0)
+        sim.spawn(_append_proc(order, "c"), "c", delay=2.0)
+        sim.run()
+        # One choice point: the t=1.0 pair; the lone t=2.0 record is
+        # not a cohort.
+        assert chooser.calls == [(1.0, 2)]
+        assert order == ["a", "b", "c"]
+
+    def test_always_zero_reproduces_canonical_order(self, restore_chooser):
+        def run(with_chooser):
+            Simulator.chooser = _Chooser(pick=0) if with_chooser else None
+            sim = Simulator()
+            order = []
+            for name in ("a", "b", "c", "d"):
+                sim.spawn(_append_proc(order, name), name, delay=1.0)
+            sim.run()
+            return order
+
+        assert run(True) == run(False)
+
+    def test_last_index_reverses_cohort(self, restore_chooser):
+        # Picking the last tied record each round cascades: survivors
+        # are requeued with unchanged seq and re-cohorted, so the full
+        # cohort dispatches in reverse registration order.
+        Simulator.chooser = _Chooser(pick=None)
+        sim = Simulator()
+        order = []
+        for name in ("a", "b", "c"):
+            sim.spawn(_append_proc(order, name), name, delay=1.0)
+        sim.run()
+        assert order == ["c", "b", "a"]
+
+    def test_invalid_index_raises(self, restore_chooser):
+        Simulator.chooser = _Chooser(pick=99)
+        sim = Simulator()
+        order = []
+        sim.spawn(_append_proc(order, "a"), "a", delay=1.0)
+        sim.spawn(_append_proc(order, "b"), "b", delay=1.0)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_non_int_index_raises(self, restore_chooser):
+        Simulator.chooser = _Chooser(pick="0")
+        sim = Simulator()
+        order = []
+        sim.spawn(_append_proc(order, "a"), "a", delay=1.0)
+        sim.spawn(_append_proc(order, "b"), "b", delay=1.0)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_calendar_queue_drained_for_late_chooser(self, restore_chooser):
+        # Load enough events to migrate the fast path onto the calendar
+        # queue, then attach a chooser: run() must fold the pending set
+        # back into the heap so the reference loop sees every record.
+        sim = Simulator()
+        hits = []
+        n = Simulator.CALENDAR_THRESHOLD + 16
+        for i in range(n):
+            sim.call_at(float(i + 1), lambda i=i: hits.append(i))
+        assert sim._cal is not None
+        chooser = _Chooser(pick=0)
+        Simulator.chooser = chooser
+        sim.run()
+        assert sim._cal is None
+        assert len(hits) == n
+        assert hits == sorted(hits)
+
+    def test_footprint_stored_frozen(self):
+        sim = Simulator()
+        proc = sim.spawn(_append_proc([], "a"), "a", footprint={"ring", "pool"})
+        assert proc.footprint == frozenset({"ring", "pool"})
+        assert isinstance(proc.footprint, frozenset)
+        bare = sim.spawn(_append_proc([], "b"), "b")
+        assert bare.footprint is None
